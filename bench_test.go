@@ -1,0 +1,100 @@
+// Benchmarks regenerating each table and figure of the paper at bench
+// scale: the same code paths as cmd/paper, with one or two rows per table
+// and small solver budgets so the full suite finishes in minutes. Run
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/paper for the full (and -full for the paper-scale) row sets.
+package fragalloc_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"fragalloc"
+	"fragalloc/internal/experiments"
+	"fragalloc/internal/mip"
+)
+
+func benchConfig(workload string) experiments.Config {
+	return experiments.Config{
+		Workload:    workload,
+		Bench:       true,
+		Budget:      2 * time.Second,
+		OutOfSample: 5,
+		MaxQ:        120,
+		Seed:        1,
+		Out:         io.Discard,
+	}
+}
+
+func runBench(b *testing.B, f func(experiments.Config) error, workload string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(benchConfig(workload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1TPCDS regenerates the Figure 1a workload-skew distribution.
+func BenchmarkFig1TPCDS(b *testing.B) { runBench(b, experiments.Fig1, "tpcds") }
+
+// BenchmarkFig1Accounting regenerates the Figure 1b distribution.
+func BenchmarkFig1Accounting(b *testing.B) { runBench(b, experiments.Fig1, "accounting") }
+
+// BenchmarkTable1TPCDS runs Table 1a rows: decomposition vs greedy.
+func BenchmarkTable1TPCDS(b *testing.B) { runBench(b, experiments.Table1, "tpcds") }
+
+// BenchmarkTable1Accounting runs Table 1b rows on the truncated workload.
+func BenchmarkTable1Accounting(b *testing.B) { runBench(b, experiments.Table1, "accounting") }
+
+// BenchmarkTable2TPCDS runs a Table 2a partial-clustering row.
+func BenchmarkTable2TPCDS(b *testing.B) { runBench(b, experiments.Table2, "tpcds") }
+
+// BenchmarkTable2Accounting runs a Table 2b row at full Q = 4461.
+func BenchmarkTable2Accounting(b *testing.B) { runBench(b, experiments.Table2, "accounting") }
+
+// BenchmarkTable3TPCDS runs Table 3a robustness rows (ours + merge).
+func BenchmarkTable3TPCDS(b *testing.B) { runBench(b, experiments.Table3, "tpcds") }
+
+// BenchmarkTable3Accounting runs Table 3b robustness rows.
+func BenchmarkTable3Accounting(b *testing.B) { runBench(b, experiments.Table3, "accounting") }
+
+// BenchmarkFig2 runs the Figure 2 memory/throughput frontier points.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig2(benchConfig("tpcds"), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks: quantify the contribution of each MIP-solve
+// refinement (DESIGN.md §3.2b) on the exact TPC-DS K=4 solve. Each
+// iteration reports the achieved replication factor as the "W/V" metric —
+// lower is better at equal budget.
+func benchAblation(b *testing.B, abl fragalloc.Ablation) {
+	w := fragalloc.TPCDSWorkload()
+	var repl float64
+	for i := 0; i < b.N; i++ {
+		res, err := fragalloc.Allocate(w, nil, 4, fragalloc.Options{
+			Ablation: abl,
+			MIP:      mip.Options{TimeLimit: 3 * time.Second, MaxStallNodes: 150},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		repl = res.ReplicationFactor
+	}
+	b.ReportMetric(repl, "W/V")
+}
+
+func BenchmarkAblationFull(b *testing.B)    { benchAblation(b, fragalloc.Ablation{}) }
+func BenchmarkAblationNoDive(b *testing.B)  { benchAblation(b, fragalloc.Ablation{NoDive: true}) }
+func BenchmarkAblationNoTrim(b *testing.B)  { benchAblation(b, fragalloc.Ablation{NoTrim: true}) }
+func BenchmarkAblationNoHints(b *testing.B) { benchAblation(b, fragalloc.Ablation{NoHints: true}) }
+func BenchmarkAblationNoSymmetry(b *testing.B) {
+	benchAblation(b, fragalloc.Ablation{NoSymmetryBreaking: true})
+}

@@ -1,0 +1,148 @@
+// Command allocate computes a fragment allocation for a workload with any
+// of the implemented approaches and writes it as JSON.
+//
+// Usage:
+//
+//	allocate -workload tpcds -k 4 -o alloc.json
+//	allocate -in workload.json -k 8 -chunks 4+4 -fixed 47 -scenarios 10
+//	allocate -workload accounting -k 6 -approach greedy
+//	allocate -workload tpcds -k 8 -approach merge -scenarios 5
+//
+// Approaches:
+//
+//	lp      the paper's LP-based approach (default); honors -chunks, -fixed
+//	greedy  the rule-based baseline of Rabl & Jacobsen (single scenario)
+//	merge   greedy per scenario + Hungarian merge (multi-scenario baseline)
+//	full    full replication
+//
+// The allocation JSON contains the per-node fragment lists and (for lp and
+// greedy) the certified routing shares.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fragalloc"
+	"fragalloc/internal/mip"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload: tpcds or accounting")
+	in := flag.String("in", "", "workload JSON file (alternative to -workload)")
+	k := flag.Int("k", 4, "number of replica nodes K")
+	approach := flag.String("approach", "lp", "lp, greedy, merge, or full")
+	chunks := flag.String("chunks", "", "decomposition spec for lp, e.g. 4+4 (default: exact)")
+	fixed := flag.Int("fixed", 0, "partial clustering: number of fixed queries F")
+	scenarios := flag.Int("scenarios", 1, "number of in-sample scenarios S (1 = deterministic)")
+	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
+	seed := flag.Int64("seed", 1, "scenario sampling seed")
+	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem (lp)")
+	out := flag.String("o", "", "output file (default stdout)")
+	exportLP := flag.String("export-lp", "", "write the exact MIP in CPLEX LP format to this file and exit")
+	verbose := flag.Bool("v", false, "progress logging to stderr")
+	flag.Parse()
+
+	w, err := loadWorkload(*workload, *in)
+	if err != nil {
+		fail(err)
+	}
+	var ss *fragalloc.ScenarioSet
+	if *scenarios > 1 {
+		ss = fragalloc.InSampleScenarios(w, *scenarios, *p, *seed)
+	}
+
+	if *exportLP != "" {
+		f, err := os.Create(*exportLP)
+		if err != nil {
+			fail(err)
+		}
+		if err := fragalloc.ExportLP(f, w, ss, *k, fragalloc.Options{FixedQueries: *fixed}); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "allocate: wrote LP model to %s\n", *exportLP)
+		return
+	}
+
+	var alloc *fragalloc.Allocation
+	start := time.Now()
+	switch *approach {
+	case "lp":
+		opt := fragalloc.Options{FixedQueries: *fixed, MIP: mip.Options{TimeLimit: *budget, MaxStallNodes: 300}}
+		if *chunks != "" {
+			spec, err := fragalloc.ParseChunks(*chunks)
+			if err != nil {
+				fail(err)
+			}
+			opt.Chunks = spec
+		}
+		if *verbose {
+			opt.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		res, err := fragalloc.Allocate(w, ss, *k, opt)
+		if err != nil {
+			fail(err)
+		}
+		alloc = res.Allocation
+		fmt.Fprintf(os.Stderr, "allocate: W/V=%.4f W=%.0f V=%.0f time=%v nodes=%d exact=%v\n",
+			res.ReplicationFactor, res.W, res.V, res.SolveTime.Round(time.Millisecond), res.BBNodes, res.Exact)
+	case "greedy":
+		alloc, err = fragalloc.GreedyAllocate(w, nil, *k)
+		if err != nil {
+			fail(err)
+		}
+	case "merge":
+		if ss == nil {
+			ss = fragalloc.InSampleScenarios(w, 1, *p, *seed)
+		}
+		alloc, err = fragalloc.GreedyMergeAllocate(w, ss, *k)
+		if err != nil {
+			fail(err)
+		}
+	case "full":
+		alloc = fragalloc.FullReplication(w, *k)
+	default:
+		fail(fmt.Errorf("unknown approach %q", *approach))
+	}
+	if *approach != "lp" {
+		fmt.Fprintf(os.Stderr, "allocate: %s W/V=%.4f time=%v\n",
+			*approach, alloc.ReplicationFactor(w), time.Since(start).Round(time.Millisecond))
+	}
+
+	if err := alloc.Validate(w); err != nil {
+		fail(fmt.Errorf("internal error, invalid allocation: %w", err))
+	}
+	if *out == "" {
+		if err := fragalloc.SaveJSONWriter(os.Stdout, alloc); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := fragalloc.SaveJSON(*out, alloc); err != nil {
+		fail(err)
+	}
+}
+
+func loadWorkload(name, path string) (*fragalloc.Workload, error) {
+	switch {
+	case path != "":
+		return fragalloc.LoadWorkload(path)
+	case name == "tpcds":
+		return fragalloc.TPCDSWorkload(), nil
+	case name == "accounting":
+		return fragalloc.AccountingWorkload(), nil
+	}
+	return nil, fmt.Errorf("specify -workload tpcds|accounting or -in file.json")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "allocate: %v\n", err)
+	os.Exit(1)
+}

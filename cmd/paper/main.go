@@ -1,0 +1,96 @@
+// Command paper regenerates the tables and figures of the reproduced paper
+// (Schlosser & Halfpap, EDBT 2021).
+//
+// Usage:
+//
+//	paper [flags] fig1|table1|table2|table3|fig2|all
+//
+// Flags:
+//
+//	-workload tpcds|accounting   workload (default tpcds; fig2 is TPC-DS only)
+//	-full                        paper-scale row sets (slow) instead of the
+//	                             reduced laptop defaults
+//	-budget 15s                  MIP time budget per subproblem
+//	-unseen 30                   number of out-of-sample scenarios S̃
+//	-maxq 300                    accounting truncation for Table 1b's LP rows
+//	-seed 1                      scenario sampling seed
+//	-per-scenario                with fig2: also print the Figure 2b series
+//	-v                           verbose solver progress
+//
+// Results are plain text tables on stdout; EXPERIMENTS.md records a run
+// side by side with the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fragalloc/internal/experiments"
+)
+
+func main() {
+	workload := flag.String("workload", "tpcds", "workload: tpcds or accounting")
+	full := flag.Bool("full", false, "run the paper-scale row sets (slow)")
+	budget := flag.Duration("budget", 15*time.Second, "MIP time budget per subproblem")
+	unseen := flag.Int("unseen", 30, "number of out-of-sample scenarios")
+	maxq := flag.Int("maxq", 300, "accounting workload truncation for Table 1b LP rows")
+	seed := flag.Int64("seed", 1, "scenario sampling seed")
+	perScenario := flag.Bool("per-scenario", false, "fig2: print the per-scenario series (Figure 2b)")
+	verbose := flag.Bool("v", false, "verbose solver progress")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paper [flags] fig1|table1|table2|table3|fig2|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{
+		Workload:    *workload,
+		Full:        *full,
+		Budget:      *budget,
+		OutOfSample: *unseen,
+		MaxQ:        *maxq,
+		Seed:        *seed,
+		Out:         os.Stdout,
+		Verbose:     *verbose,
+	}
+
+	var err error
+	switch flag.Arg(0) {
+	case "fig1":
+		err = experiments.Fig1(cfg)
+	case "table1":
+		err = experiments.Table1(cfg)
+	case "table2":
+		err = experiments.Table2(cfg)
+	case "table3":
+		err = experiments.Table3(cfg)
+	case "fig2":
+		err = experiments.Fig2(cfg, *perScenario)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return experiments.Fig1(cfg) },
+			func() error { return experiments.Table1(cfg) },
+			func() error { return experiments.Table2(cfg) },
+			func() error { return experiments.Table3(cfg) },
+			func() error { return experiments.Fig2(cfg, true) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "paper: unknown experiment %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		os.Exit(1)
+	}
+}

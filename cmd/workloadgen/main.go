@@ -1,0 +1,74 @@
+// Command workloadgen emits the built-in workloads and scenario sets as
+// JSON, for use with cmd/allocate and cmd/evaluate or external tooling.
+//
+// Usage:
+//
+//	workloadgen -workload tpcds -o tpcds.json
+//	workloadgen -workload accounting -seed 9 -o accounting.json
+//	workloadgen -workload tpcds -scenarios 10 -p 0.75 -o seen.json
+//
+// With -scenarios > 0 the tool writes a scenario set (the first scenario is
+// the deterministic f=1 baseline unless -no-baseline is set) instead of the
+// workload itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fragalloc"
+)
+
+func main() {
+	workload := flag.String("workload", "tpcds", "workload: tpcds or accounting")
+	seed := flag.Int64("seed", 0, "generator seed (0 = canonical default)")
+	out := flag.String("o", "", "output file (default stdout)")
+	scenarios := flag.Int("scenarios", 0, "emit a scenario set with this many scenarios instead of the workload")
+	p := flag.Float64("p", fragalloc.DefaultPresence, "query presence probability for random scenarios")
+	noBaseline := flag.Bool("no-baseline", false, "scenario sets: omit the deterministic f=1 baseline (out-of-sample style)")
+	flag.Parse()
+
+	var w *fragalloc.Workload
+	switch *workload {
+	case "tpcds":
+		w = fragalloc.TPCDSWorkload()
+	case "accounting":
+		w = fragalloc.AccountingWorkload()
+	default:
+		fmt.Fprintf(os.Stderr, "workloadgen: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	sseed := *seed
+	if sseed == 0 {
+		sseed = 1
+	}
+
+	var v any = w
+	if *scenarios > 0 {
+		if *noBaseline {
+			v = fragalloc.OutOfSampleScenarios(w, *scenarios, *p, sseed)
+		} else {
+			v = fragalloc.InSampleScenarios(w, *scenarios, *p, sseed)
+		}
+	}
+
+	if *out == "" {
+		if err := writeJSON(os.Stdout, v); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := fragalloc.SaveJSON(*out, v); err != nil {
+		fail(err)
+	}
+}
+
+func writeJSON(f *os.File, v any) error {
+	return fragalloc.SaveJSONWriter(f, v)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+	os.Exit(1)
+}

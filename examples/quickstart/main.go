@@ -1,0 +1,64 @@
+// Quickstart: define a small workload by hand, compute a memory-efficient
+// allocation onto three replica nodes, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fragalloc"
+)
+
+func main() {
+	// A toy web-shop database split into six column fragments.
+	w := &fragalloc.Workload{
+		Name: "webshop",
+		Fragments: []fragalloc.Fragment{
+			{ID: 0, Name: "orders.id", Size: 400},
+			{ID: 1, Name: "orders.total", Size: 800},
+			{ID: 2, Name: "orders.date", Size: 400},
+			{ID: 3, Name: "customers.id", Size: 100},
+			{ID: 4, Name: "customers.region", Size: 200},
+			{ID: 5, Name: "items.price", Size: 300},
+		},
+		Queries: []fragalloc.Query{
+			// Revenue report: scans order totals by date.
+			{ID: 0, Name: "revenue", Fragments: []int{1, 2}, Cost: 8, Frequency: 1},
+			// Regional dashboard: joins orders and customers.
+			{ID: 1, Name: "regional", Fragments: []int{0, 3, 4}, Cost: 5, Frequency: 1},
+			// Price check: items only.
+			{ID: 2, Name: "prices", Fragments: []int{5}, Cost: 2, Frequency: 1},
+			// Order lookup.
+			{ID: 3, Name: "lookup", Fragments: []int{0, 2}, Cost: 1, Frequency: 1},
+		},
+	}
+
+	// Distribute the workload over K = 2 nodes, minimizing the stored data
+	// while each node processes exactly half the load.
+	res, err := fragalloc.Allocate(w, nil, 2, fragalloc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replication factor W/V = %.3f (1.0 would be a perfect split)\n\n", res.ReplicationFactor)
+	for k, frags := range res.Allocation.Fragments {
+		fmt.Printf("node %d stores:\n", k)
+		for _, i := range frags {
+			fmt.Printf("  %-18s %5.0f bytes\n", w.Fragments[i].Name, w.Fragments[i].Size)
+		}
+	}
+	fmt.Println("\nquery routing (share of each query per node):")
+	for j, q := range w.Queries {
+		fmt.Printf("  %-10s", q.Name)
+		for k := 0; k < res.Allocation.K; k++ {
+			fmt.Printf("  node%d=%.2f", k, res.Allocation.Shares[0][j][k])
+		}
+		fmt.Println()
+	}
+
+	// Verify the balance: each node carries exactly 1/2 of the cost.
+	loads := res.Allocation.NodeLoads(w, w.DefaultFrequencies(), 0)
+	fmt.Printf("\nnode load shares: %.3f (target 0.500 each)\n", loads)
+}

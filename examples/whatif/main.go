@@ -1,0 +1,100 @@
+// What-if drift analysis: a cluster is provisioned for today's workload;
+// the workload then drifts (a reporting query becomes 10× hotter, ad-hoc
+// queries appear). The example measures how the allocation degrades, and
+// how quickly a partial-clustering re-allocation restores balance — the
+// "dynamic settings with quick recalculations" motivation of the paper's
+// introduction.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fragalloc"
+	"fragalloc/internal/mip"
+)
+
+func main() {
+	const k = 6
+	w := fragalloc.AccountingWorkload()
+	mipOpt := mip.Options{TimeLimit: 10 * time.Second, MaxStallNodes: 200}
+	// The accounting workload at full scale: partial clustering keeps all
+	// but the 100 heaviest templates pinned, which is what makes repeated
+	// re-allocation affordable.
+	opt := fragalloc.Options{
+		FixedQueries: w.NumQueries() - 100,
+		Chunks:       fragalloc.MustParseChunks("3+3"),
+		MIP:          mipOpt,
+	}
+
+	today := w.DefaultFrequencies()
+	res, err := fragalloc.Allocate(w, fragalloc.SingleScenarioSet(today), k, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provisioned for today's trace: W/V=%.3f in %v\n",
+		res.ReplicationFactor, res.SolveTime.Round(time.Millisecond))
+	l, _ := fragalloc.WorstLoad(w, res.Allocation, today)
+	fmt.Printf("  worst node load today: %.4f (ideal %.4f)\n\n", l, 1.0/k)
+
+	// The workload drifts: month-end closing makes some reporting templates
+	// hot, and a quarter of the interactive templates go quiet.
+	rng := rand.New(rand.NewSource(11))
+	drifted := append([]float64(nil), today...)
+	for j := range drifted {
+		switch {
+		case w.Queries[j].Cost > 50 && rng.Float64() < 0.3:
+			drifted[j] *= 10 // month-end reporting surge
+		case rng.Float64() < 0.25:
+			drifted[j] = 0 // template goes quiet
+		}
+	}
+
+	l, err = fragalloc.WorstLoad(w, res.Allocation, drifted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after drift, unchanged allocation: worst node load %.4f (%.0f%% over ideal)\n",
+		l, (l*k-1)*100)
+	fmt.Printf("  => cluster throughput drops to %.0f%% of capacity\n\n", 100/(l*float64(k)))
+
+	// Re-allocate against the drifted trace. The partial clustering keeps
+	// the problem small, so this is the "quick recalculation" path. Only
+	// still-active templates can be pinned, so recompute F from the trace.
+	active := 0
+	for j := range drifted {
+		if drifted[j] > 0 && w.Queries[j].Cost > 0 {
+			active++
+		}
+	}
+	reOpt := opt
+	reOpt.FixedQueries = active - 100
+	start := time.Now()
+	re, err := fragalloc.Allocate(w, fragalloc.SingleScenarioSet(drifted), k, reOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, _ = fragalloc.WorstLoad(w, re.Allocation, drifted)
+	fmt.Printf("re-allocated in %v: W/V=%.3f, worst node load %.4f\n",
+		time.Since(start).Round(time.Millisecond), re.ReplicationFactor, l)
+
+	// How much data must move? Compare per-node fragment sets.
+	var moved float64
+	for node := 0; node < k; node++ {
+		oldSet := map[int]bool{}
+		for _, i := range res.Allocation.Fragments[node] {
+			oldSet[i] = true
+		}
+		for _, i := range re.Allocation.Fragments[node] {
+			if !oldSet[i] {
+				moved += w.Fragments[i].Size
+			}
+		}
+	}
+	fmt.Printf("data to ship for the migration: %.2f GB (%.1f%% of stored data)\n",
+		moved/1e9, 100*moved/re.Allocation.TotalData(w))
+}

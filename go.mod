@@ -1,0 +1,3 @@
+module fragalloc
+
+go 1.22

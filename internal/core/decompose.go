@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fragalloc/internal/greedy"
+	"fragalloc/internal/mip"
+	"fragalloc/internal/model"
+)
+
+// Options configure Allocate. The zero value solves the model exactly
+// (single chunk, no fixed queries, α = 1000).
+type Options struct {
+	// Alpha is the penalty weight on the worst-case load limit L in
+	// objective (3); it must be large relative to K so that even balancing
+	// dominates memory savings (default 1000, the paper's choice).
+	Alpha float64
+	// Chunks is the decomposition spec (Section 2.2.3). nil means Flat(K),
+	// the exact solve. Its total leaves must equal K.
+	Chunks *ChunkSpec
+	// FixedQueries is F, the number of lowest-load queries pinned to node 0
+	// by the partial clustering constraints (9) (Section 3.2). 0 disables
+	// clustering.
+	FixedQueries int
+	// MIP passes budgets (time limit, node limit, gap) to each subproblem
+	// solve. A TimeLimit applies per subproblem.
+	MIP mip.Options
+	// Ablation switches off individual solver refinements; used by the
+	// ablation benchmarks to quantify each design choice. Leave zero for
+	// production use.
+	Ablation Ablation
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Ablation disables individual refinements of the MIP solve (DESIGN.md
+// §3.2b) so their contribution can be measured in isolation.
+type Ablation struct {
+	// NoSymmetryBreaking omits the subnode-ordering rows.
+	NoSymmetryBreaking bool
+	// NoDive skips the LP-guided dive-and-fix primal heuristic.
+	NoDive bool
+	// NoTrim skips the routing-LP-certified trim local search.
+	NoTrim bool
+	// NoHints skips the hierarchical and greedy starting incumbents.
+	NoHints bool
+}
+
+// Result reports the allocation and solve statistics.
+type Result struct {
+	// Allocation holds the fragment placement and the certified in-sample
+	// routing shares for every scenario.
+	Allocation *model.Allocation
+	// W is the total allocated data, V the total accessed data (union over
+	// all scenarios); ReplicationFactor is W/V.
+	W, V              float64
+	ReplicationFactor float64
+	// MaxLoad is the largest normalized subnode load over all subproblem
+	// solves; 1.0 means every scenario balances perfectly.
+	MaxLoad float64
+	// SolveTime is the wall-clock time spent in Allocate.
+	SolveTime time.Duration
+	// BBNodes is the total number of branch-and-bound nodes across all
+	// subproblems; MaxGap the largest remaining absolute objective gap of
+	// any subproblem (incumbent − proven bound, approximately in W/V
+	// units); Exact is true when every subproblem was solved to proven
+	// optimality.
+	BBNodes int
+	MaxGap  float64
+	Exact   bool
+	// FixedQueries lists the queries pinned to node 0 by partial
+	// clustering, in ascending order of expected load.
+	FixedQueries []int
+}
+
+// Allocate computes a robust fragment allocation of workload w for the
+// scenario set ss onto k nodes using the paper's LP-based approach:
+// model (3)–(7), recursive decomposition per opt.Chunks, and partial
+// clustering of opt.FixedQueries low-load queries.
+func Allocate(w *model.Workload, ss *model.ScenarioSet, k int, opt Options) (*Result, error) {
+	start := time.Now()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if ss == nil {
+		ss = model.DefaultScenario(w)
+	}
+	if err := ss.Validate(w); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", k)
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = 1000
+	}
+	spec := opt.Chunks
+	if spec == nil {
+		spec = Flat(k)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Leaves != k {
+		return nil, fmt.Errorf("core: chunk spec %q covers %d nodes, want K=%d", spec, spec.Leaves, k)
+	}
+
+	costs := ss.TotalCosts(w)
+	active := activeQueries(w, ss)
+	if len(active) == 0 {
+		return nil, fmt.Errorf("core: no query carries load in any scenario")
+	}
+	v := w.AccessedDataSize(ss.Frequencies...)
+	if v <= 0 {
+		return nil, fmt.Errorf("core: accessed data size is zero")
+	}
+
+	fixed, flex, err := splitFixed(w, ss, active, opt.FixedQueries, k)
+	if err != nil {
+		return nil, err
+	}
+
+	// Root subproblem: every active query with full share in every scenario.
+	shares := make([][]float64, ss.S())
+	for s := range shares {
+		shares[s] = make([]float64, len(w.Queries))
+		for _, j := range active {
+			shares[s][j] = 1
+		}
+	}
+	activeFrag := make([]bool, len(w.Fragments))
+	for _, j := range active {
+		for _, i := range w.Queries[j].Fragments {
+			activeFrag[i] = true
+		}
+	}
+	root := &subproblem{
+		w: w, ss: ss, costs: costs, k: k, vNorm: v, alpha: opt.Alpha,
+		activeFrag: activeFrag, flexQ: flex, fixedQ: fixed, shares: shares,
+		hasFixed: true, ablation: opt.Ablation,
+	}
+
+	alloc := model.NewAllocation(k)
+	alloc.Shares = make([][][]float64, ss.S())
+	for s := range alloc.Shares {
+		alloc.Shares[s] = make([][]float64, len(w.Queries))
+		for j := range alloc.Shares[s] {
+			alloc.Shares[s][j] = make([]float64, k)
+		}
+	}
+	d := &driver{w: w, ss: ss, opt: opt, alloc: alloc, exact: true}
+	if err := d.solve(root, spec, 0); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Allocation:   alloc,
+		W:            alloc.TotalData(w),
+		V:            v,
+		MaxLoad:      d.maxLoad,
+		SolveTime:    time.Since(start),
+		BBNodes:      d.nodes,
+		MaxGap:       d.maxGap,
+		Exact:        d.exact,
+		FixedQueries: fixed,
+	}
+	res.ReplicationFactor = res.W / v
+	return res, nil
+}
+
+// activeQueries returns the queries with positive load in at least one
+// scenario, ascending by ID.
+func activeQueries(w *model.Workload, ss *model.ScenarioSet) []int {
+	var active []int
+	for j := range w.Queries {
+		if w.Queries[j].Cost <= 0 {
+			continue
+		}
+		for s := 0; s < ss.S(); s++ {
+			if ss.Frequencies[s][j] > 0 {
+				active = append(active, j)
+				break
+			}
+		}
+	}
+	return active
+}
+
+// splitFixed orders the active queries by expected load and pins the f
+// smallest to node 0, verifying that their combined share stays below 1/K
+// in every scenario (otherwise even balancing is impossible).
+func splitFixed(w *model.Workload, ss *model.ScenarioSet, active []int, f, k int) (fixed, flex []int, err error) {
+	if f < 0 {
+		return nil, nil, fmt.Errorf("core: FixedQueries must be non-negative, got %d", f)
+	}
+	if f > len(active) {
+		return nil, nil, fmt.Errorf("core: FixedQueries=%d exceeds the %d active queries", f, len(active))
+	}
+	loads := ss.ExpectedLoads(w)
+	order := append([]int(nil), active...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if loads[order[a]] != loads[order[b]] {
+			return loads[order[a]] < loads[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	fixed = append([]int(nil), order[:f]...)
+	flex = append([]int(nil), order[f:]...)
+	sort.Ints(fixed)
+	sort.Ints(flex)
+
+	costs := ss.TotalCosts(w)
+	for s := 0; s < ss.S(); s++ {
+		var share float64
+		for _, j := range fixed {
+			share += ss.Frequencies[s][j] * w.Queries[j].Cost / costs[s]
+		}
+		if share > 1/float64(k)+1e-9 {
+			return nil, nil, fmt.Errorf(
+				"core: the %d fixed queries carry %.4f of scenario %d, above the node capacity 1/K=%.4f; decrease FixedQueries",
+				f, share, s, 1/float64(k))
+		}
+	}
+	return fixed, flex, nil
+}
+
+// driver carries the recursion state of the decomposition.
+type driver struct {
+	w       *model.Workload
+	ss      *model.ScenarioSet
+	opt     Options
+	alloc   *model.Allocation
+	maxLoad float64
+	maxGap  float64
+	nodes   int
+	exact   bool
+}
+
+func (d *driver) logf(format string, args ...any) {
+	if d.opt.Logf != nil {
+		d.opt.Logf(format, args...)
+	}
+}
+
+// solve recursively processes a subproblem according to spec, assigning the
+// final nodes [leaf, leaf+spec.Leaves).
+func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
+	if len(spec.Children) == 0 && spec.Leaves == 1 {
+		// A single final node: it takes the whole inherited subproblem.
+		d.assignLeaf(sp, leaf)
+		return nil
+	}
+
+	var b int
+	var weights []float64
+	if len(spec.Children) == 0 {
+		b = spec.Leaves
+		weights = make([]float64, b)
+		for i := range weights {
+			weights[i] = 1 / float64(d.alloc.K)
+		}
+	} else {
+		b = len(spec.Children)
+		weights = make([]float64, b)
+		for i, c := range spec.Children {
+			weights[i] = float64(c.Leaves) / float64(d.alloc.K)
+		}
+	}
+	sp.weights = weights
+
+	// For exact groups with B >= 4, a hierarchical pre-solve (recursive
+	// two-way decomposition of the same subproblem) supplies a high-quality
+	// starting placement, guaranteeing the exact solve starts at least as
+	// good as its own decomposition (cf. Table 1 of the paper, where the
+	// exact rows dominate the chunked ones).
+	var hint map[int][]bool
+	if len(spec.Children) == 0 && b >= 3 && !d.opt.Ablation.NoHints {
+		hint = d.hierarchicalHint(sp, b)
+	}
+	var greedyHint map[int][]bool
+	if len(spec.Children) == 0 && leaf == 0 && spec.Leaves == d.alloc.K && !d.opt.Ablation.NoHints {
+		// Exact solve over the full node set: also seed with the greedy
+		// baseline (merged over scenarios), so the LP-based allocation
+		// provably starts no worse than greedy — the relation Table 1 of
+		// the paper establishes.
+		greedyHint = d.greedyHint(sp, b)
+	}
+
+	d.logf("core: solving split %v (B=%d, %d flexible queries, %d fragments) for leaves %d..%d",
+		spec, b, len(sp.flexQ), countTrue(sp.activeFrag), leaf, leaf+spec.Leaves-1)
+	sol, err := sp.solve(d.opt.MIP, hint, greedyHint)
+	if err != nil {
+		return err
+	}
+	d.nodes += sol.nodes
+	d.maxGap = math.Max(d.maxGap, sol.gap)
+	d.maxLoad = math.Max(d.maxLoad, sol.l)
+	d.exact = d.exact && sol.exact
+	d.logf("core: split %v solved: L=%.4f gap=%.4f nodes=%d", spec, sol.l, sol.gap, sol.nodes)
+
+	if len(spec.Children) == 0 {
+		// Exact group: subnodes are final nodes.
+		for bb := 0; bb < b; bb++ {
+			d.alloc.Fragments[leaf+bb] = append([]int(nil), sol.frags[bb]...)
+		}
+		for key, zs := range sol.z {
+			j, s := key[0], key[1]
+			for bb, z := range zs {
+				d.alloc.Shares[s][j][leaf+bb] = z
+			}
+		}
+		if sp.hasFixed {
+			d.assignFixedShares(sp, leaf)
+		}
+		return nil
+	}
+
+	// Inner split: derive one child subproblem per subnode and recurse.
+	child := leaf
+	for bb, cs := range spec.Children {
+		sub := d.childSubproblem(sp, sol, bb)
+		if err := d.solve(sub, cs, child); err != nil {
+			return err
+		}
+		child += cs.Leaves
+	}
+	return nil
+}
+
+// greedyHint computes the greedy baseline allocation (merged over the
+// scenario set) and converts it into a starting placement for a flat exact
+// solve over all K nodes.
+func (d *driver) greedyHint(sp *subproblem, n int) map[int][]bool {
+	alloc, err := greedy.AllocateScenarios(d.w, d.ss, n)
+	if err != nil {
+		return nil
+	}
+	hint := make(map[int][]bool, len(sp.flexQ))
+	for _, j := range sp.flexQ {
+		q := &d.w.Queries[j]
+		row := make([]bool, n)
+		for bb := 0; bb < n; bb++ {
+			row[bb] = alloc.CanRun(q, bb)
+		}
+		hint[j] = row
+	}
+	return hint
+}
+
+// hierarchicalHint solves the same subproblem with a balanced two-way
+// decomposition into a scratch allocation and returns the resulting
+// query-placement map, used as a starting incumbent for the exact solve.
+func (d *driver) hierarchicalHint(sp *subproblem, n int) map[int][]bool {
+	half := n / 2
+	spec := Split(Flat(half), Flat(n-half))
+	scratch := &driver{w: d.w, ss: d.ss, opt: d.opt, alloc: model.NewAllocation(d.alloc.K), exact: true}
+	scratch.alloc.Shares = make([][][]float64, d.ss.S())
+	for s := range scratch.alloc.Shares {
+		scratch.alloc.Shares[s] = make([][]float64, len(d.w.Queries))
+		for j := range scratch.alloc.Shares[s] {
+			scratch.alloc.Shares[s][j] = make([]float64, d.alloc.K)
+		}
+	}
+	spc := *sp // driver.solve mutates only the weights field
+	if err := scratch.solve(&spc, spec, 0); err != nil {
+		d.logf("core: hierarchical pre-solve failed: %v", err)
+		return nil
+	}
+	hint := make(map[int][]bool, len(sp.flexQ))
+	for _, j := range sp.flexQ {
+		q := &d.w.Queries[j]
+		row := make([]bool, n)
+		for bb := 0; bb < n; bb++ {
+			row[bb] = scratch.alloc.CanRun(q, bb)
+		}
+		hint[j] = row
+	}
+	return hint
+}
+
+// assignLeaf routes a leaf subproblem's entire inherited workload to one
+// final node.
+func (d *driver) assignLeaf(sp *subproblem, leaf int) {
+	var frags []int
+	for i, a := range sp.activeFrag {
+		if a {
+			frags = append(frags, i)
+		}
+	}
+	d.alloc.Fragments[leaf] = frags
+	for _, j := range sp.flexQ {
+		for s := 0; s < d.ss.S(); s++ {
+			if sp.shares[s][j] > 0 && d.ss.Frequencies[s][j] > 0 {
+				d.alloc.Shares[s][j][leaf] = sp.shares[s][j]
+			}
+		}
+	}
+	if sp.hasFixed {
+		d.assignFixedShares(sp, leaf)
+	}
+}
+
+// assignFixedShares routes the fixed queries' inherited shares to the given
+// final node (always the node descended from subnode 0 chains).
+func (d *driver) assignFixedShares(sp *subproblem, leaf int) {
+	for _, j := range sp.fixedQ {
+		for s := 0; s < d.ss.S(); s++ {
+			if sp.shares[s][j] > 0 && d.ss.Frequencies[s][j] > 0 {
+				d.alloc.Shares[s][j][leaf] = sp.shares[s][j]
+			}
+		}
+	}
+}
+
+// childSubproblem builds the subproblem inherited by subnode bb.
+func (d *driver) childSubproblem(sp *subproblem, sol *solution, bb int) *subproblem {
+	shares := make([][]float64, d.ss.S())
+	for s := range shares {
+		shares[s] = make([]float64, len(d.w.Queries))
+	}
+	flexSet := make(map[int]bool)
+	for key, zs := range sol.z {
+		j, s := key[0], key[1]
+		if zs[bb] > 1e-9 {
+			shares[s][j] = zs[bb]
+			flexSet[j] = true
+		}
+	}
+	var flex []int
+	for j := range flexSet {
+		flex = append(flex, j)
+	}
+	sort.Ints(flex)
+
+	activeFrag := make([]bool, len(d.w.Fragments))
+	for _, i := range sol.frags[bb] {
+		activeFrag[i] = true
+	}
+
+	sub := &subproblem{
+		w: sp.w, ss: sp.ss, costs: sp.costs, k: sp.k, vNorm: sp.vNorm, alpha: sp.alpha,
+		activeFrag: activeFrag, flexQ: flex, shares: shares,
+	}
+	if bb == 0 && sp.hasFixed {
+		sub.hasFixed = true
+		sub.fixedQ = sp.fixedQ
+		for _, j := range sp.fixedQ {
+			for s := range shares {
+				shares[s][j] = sp.shares[s][j]
+			}
+		}
+	}
+	return sub
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}

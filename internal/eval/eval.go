@@ -1,0 +1,233 @@
+// Package eval measures how well a fixed fragment allocation copes with a
+// (possibly unseen) workload scenario — the robustness yardstick of
+// Section 4.2 of the reproduced paper.
+//
+// Given an allocation x, the executability y of every query per node is
+// determined (a node can run a query iff it stores all accessed fragments).
+// For a scenario's frequency vector, the minimal achievable worst-case node
+// load share L̃ — the highest fraction of the scenario's total cost any node
+// must process under the best possible fractional routing — is then the
+// optimum of a small LP. A perfectly balanced allocation achieves
+// L̃ = 1/K; the paper reports E(L̃) − 1/K and the expected relative
+// throughput E((1/K)/L̃) over 100 unseen scenarios.
+//
+// Two independent implementations are provided: WorstLoadLP solves the
+// routing LP with the simplex solver (the paper's method of fixing x in
+// model (3)–(7)), and WorstLoadFlow binary-searches L with Dinic max-flow
+// feasibility probes, which is much faster for repeated evaluation. They
+// agree to within the search tolerance and are cross-checked in tests.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"fragalloc/internal/maxflow"
+	"fragalloc/internal/model"
+	"fragalloc/internal/simplex"
+)
+
+// Runnable returns, for every query, the list of nodes that store all of
+// the query's fragments.
+func Runnable(w *model.Workload, alloc *model.Allocation) [][]int {
+	out := make([][]int, len(w.Queries))
+	for j := range w.Queries {
+		for k := 0; k < alloc.K; k++ {
+			if alloc.CanRun(&w.Queries[j], k) {
+				out[j] = append(out[j], k)
+			}
+		}
+	}
+	return out
+}
+
+// loadShares returns the normalized per-query loads f_j·c_j/C for the
+// scenario, or an error if the scenario carries no load.
+func loadShares(w *model.Workload, freq []float64) ([]float64, error) {
+	if len(freq) != len(w.Queries) {
+		return nil, fmt.Errorf("eval: frequency vector has length %d, want %d", len(freq), len(w.Queries))
+	}
+	total := w.TotalCost(freq)
+	if total <= 0 {
+		return nil, fmt.Errorf("eval: scenario has zero total cost")
+	}
+	loads := make([]float64, len(freq))
+	for j, q := range w.Queries {
+		loads[j] = freq[j] * q.Cost / total
+	}
+	return loads, nil
+}
+
+// WorstLoadLP computes L̃ for one scenario by solving the routing LP
+//
+//	min L  s.t.  Σ_k z_{j,k} = 1 (load-carrying j),  z_{j,k} ≤ [runnable],
+//	             Σ_j load_j·z_{j,k} ≤ L (every node k)
+//
+// exactly. It returns +Inf if some load-carrying query cannot run on any
+// node (the allocation cannot serve the scenario at all).
+func WorstLoadLP(w *model.Workload, alloc *model.Allocation, freq []float64) (float64, error) {
+	loads, err := loadShares(w, freq)
+	if err != nil {
+		return 0, err
+	}
+	runnable := Runnable(w, alloc)
+
+	p := &simplex.Problem{}
+	l := p.AddVar(0, math.Inf(1), 1)
+	// z variables per (query, runnable node).
+	nodeRows := make([][]int, alloc.K) // z columns per node
+	nodeCoefs := make([][]float64, alloc.K)
+	for j := range w.Queries {
+		if loads[j] <= 0 {
+			continue
+		}
+		if len(runnable[j]) == 0 {
+			return math.Inf(1), nil
+		}
+		var idx []int
+		var coef []float64
+		for _, k := range runnable[j] {
+			col := p.AddVar(0, 1, 0)
+			idx = append(idx, col)
+			coef = append(coef, 1)
+			nodeRows[k] = append(nodeRows[k], col)
+			nodeCoefs[k] = append(nodeCoefs[k], loads[j])
+		}
+		p.AddRow(idx, coef, simplex.EQ, 1)
+	}
+	for k := 0; k < alloc.K; k++ {
+		idx := append(append([]int(nil), nodeRows[k]...), l)
+		coef := append(append([]float64(nil), nodeCoefs[k]...), -1)
+		p.AddRow(idx, coef, simplex.LE, 0)
+	}
+	res, err := simplex.Solve(p, simplex.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != simplex.StatusOptimal {
+		return 0, fmt.Errorf("eval: routing LP ended with status %v", res.Status)
+	}
+	return res.Obj, nil
+}
+
+// WorstLoadFlow computes L̃ for one scenario by binary search over L with a
+// max-flow feasibility probe per step: route query loads (source→query→
+// runnable node→sink with node capacity L) and check all load is placed.
+// tol is the absolute precision of the returned L̃ (default 1e-9 if ≤ 0).
+func WorstLoadFlow(w *model.Workload, alloc *model.Allocation, freq []float64, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	loads, err := loadShares(w, freq)
+	if err != nil {
+		return 0, err
+	}
+	runnable := Runnable(w, alloc)
+
+	// Vertices: 0 = source, 1..q = load-carrying queries, then nodes, sink.
+	var js []int
+	for j := range w.Queries {
+		if loads[j] <= 0 {
+			continue
+		}
+		if len(runnable[j]) == 0 {
+			return math.Inf(1), nil
+		}
+		js = append(js, j)
+	}
+	nq := len(js)
+	source := 0
+	sink := 1 + nq + alloc.K
+	g := maxflow.NewGraph(sink + 1)
+	var totalLoad float64
+	var srcEdges, midEdges []int
+	for qi, j := range js {
+		srcEdges = append(srcEdges, g.AddEdge(source, 1+qi, loads[j]))
+		totalLoad += loads[j]
+		for _, k := range runnable[j] {
+			midEdges = append(midEdges, g.AddEdge(1+qi, 1+nq+k, 2)) // effectively unbounded (loads ≤ 1)
+		}
+	}
+	nodeEdges := make([]int, alloc.K)
+	for k := 0; k < alloc.K; k++ {
+		nodeEdges[k] = g.AddEdge(1+nq+k, sink, 0)
+	}
+
+	feasible := func(l float64) bool {
+		// Reset all capacities (source and query edges are consumed by
+		// earlier runs, so rebuild their capacities too).
+		for qi, id := range srcEdges {
+			g.SetCapacity(id, loads[js[qi]])
+		}
+		for _, id := range midEdges {
+			g.SetCapacity(id, 2)
+		}
+		for k := 0; k < alloc.K; k++ {
+			g.SetCapacity(nodeEdges[k], l)
+		}
+		return g.MaxFlow(source, sink, tol/16) >= totalLoad-tol/4
+	}
+
+	lo := 1 / float64(alloc.K) // can never beat the perfect average
+	// The largest single query load is also a lower bound when that query
+	// runs on one node only.
+	for qi, j := range js {
+		if len(runnable[j]) == 1 && loads[j] > lo {
+			lo = loads[j]
+		}
+		_ = qi
+	}
+	hi := 1.0
+	if feasible(lo) {
+		return lo, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// Metrics aggregates an allocation's performance over a set of scenarios.
+type Metrics struct {
+	// L holds the worst-case load share L̃ per scenario.
+	L []float64
+	// MeanL is E(L̃); MeanGap is E(L̃) − 1/K; MeanThroughput is
+	// E((1/K)/L̃), the paper's expected relative throughput.
+	MeanL, MeanGap, MeanThroughput float64
+	// Unservable counts scenarios with at least one unplaceable query
+	// (L̃ = +Inf); they contribute zero throughput and are excluded from
+	// MeanL / MeanGap.
+	Unservable int
+}
+
+// Evaluate computes L̃ for every scenario in ss using the flow evaluator.
+func Evaluate(w *model.Workload, alloc *model.Allocation, ss *model.ScenarioSet) (*Metrics, error) {
+	m := &Metrics{}
+	invK := 1 / float64(alloc.K)
+	finite := 0
+	for _, freq := range ss.Frequencies {
+		l, err := WorstLoadFlow(w, alloc, freq, 1e-9)
+		if err != nil {
+			return nil, err
+		}
+		m.L = append(m.L, l)
+		if math.IsInf(l, 1) {
+			m.Unservable++
+			continue
+		}
+		finite++
+		m.MeanL += l
+		m.MeanThroughput += invK / l
+	}
+	if finite > 0 {
+		m.MeanL /= float64(finite)
+		m.MeanGap = m.MeanL - invK
+	}
+	m.MeanThroughput /= float64(len(ss.Frequencies)) // unservable count as 0
+	return m, nil
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"fragalloc/internal/model"
+)
+
+// Failure analysis extends the robustness evaluation to node outages, the
+// scenario explored in the authors' companion work on dynamic query-based
+// load balancing with node failures (Halfpap & Schlosser, CIKM 2020): when
+// node k fails, its queries must be absorbed by the surviving nodes that
+// also store the required fragments. The ideal worst-case share then rises
+// from 1/K to 1/(K−1); allocations with little replication can do far
+// worse, or lose queries entirely.
+
+// FailureMetrics aggregates single-node-failure behaviour for one scenario.
+type FailureMetrics struct {
+	// L[k] is the worst-case load share over the surviving nodes when node
+	// k fails (+Inf if some query becomes unservable).
+	L []float64
+	// WorstL is the maximum over all single failures; ideal is 1/(K−1).
+	WorstL float64
+	// MeanL is the average over failures with finite L.
+	MeanL float64
+	// Unservable counts failures that strand at least one query.
+	Unservable int
+}
+
+// WorstLoadWithFailure computes L̃ for the scenario when node failed is
+// down: routing is restricted to the surviving nodes.
+func WorstLoadWithFailure(w *model.Workload, alloc *model.Allocation, freq []float64, failed int) (float64, error) {
+	if failed < 0 || failed >= alloc.K {
+		return 0, fmt.Errorf("eval: failed node %d outside [0,%d)", failed, alloc.K)
+	}
+	if alloc.K == 1 {
+		return math.Inf(1), nil // the only node is down
+	}
+	survivor := survivorAllocation(alloc, failed)
+	return WorstLoadFlow(w, survivor, freq, 1e-9)
+}
+
+// EvaluateFailures computes the single-node-failure metrics for a scenario.
+func EvaluateFailures(w *model.Workload, alloc *model.Allocation, freq []float64) (*FailureMetrics, error) {
+	m := &FailureMetrics{L: make([]float64, alloc.K)}
+	finite := 0
+	for k := 0; k < alloc.K; k++ {
+		l, err := WorstLoadWithFailure(w, alloc, freq, k)
+		if err != nil {
+			return nil, err
+		}
+		m.L[k] = l
+		if math.IsInf(l, 1) {
+			m.Unservable++
+			m.WorstL = math.Inf(1)
+			continue
+		}
+		finite++
+		m.MeanL += l
+		if l > m.WorstL {
+			m.WorstL = l
+		}
+	}
+	if finite > 0 {
+		m.MeanL /= float64(finite)
+	}
+	return m, nil
+}
+
+// survivorAllocation drops the failed node, keeping the survivors' indices
+// compacted (the evaluator only needs fragment sets).
+func survivorAllocation(alloc *model.Allocation, failed int) *model.Allocation {
+	s := model.NewAllocation(alloc.K - 1)
+	pos := 0
+	for k := 0; k < alloc.K; k++ {
+		if k == failed {
+			continue
+		}
+		s.Fragments[pos] = alloc.Fragments[k]
+		pos++
+	}
+	return s
+}

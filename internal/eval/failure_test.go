@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"fragalloc/internal/model"
+)
+
+func TestFailureFullReplication(t *testing.T) {
+	rng := newTestRNG(41)
+	w := randomWorkload(rng, 8, 6)
+	k := 4
+	alloc := model.NewAllocation(k)
+	for node := 0; node < k; node++ {
+		for i := range w.Fragments {
+			alloc.AddFragment(node, i)
+		}
+	}
+	m, err := EvaluateFailures(w, alloc, w.DefaultFrequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full replication: any failure rebalances perfectly to 1/(K-1).
+	want := 1.0 / float64(k-1)
+	if math.Abs(m.WorstL-want) > 1e-6 {
+		t.Errorf("WorstL = %.6f, want %.6f", m.WorstL, want)
+	}
+	if m.Unservable != 0 {
+		t.Errorf("Unservable = %d, want 0", m.Unservable)
+	}
+}
+
+func TestFailureStrandsQueries(t *testing.T) {
+	// Fragment 1 lives only on node 1: its failure strands query 1.
+	w := &model.Workload{
+		Fragments: []model.Fragment{{ID: 0, Size: 1}, {ID: 1, Size: 1}},
+		Queries: []model.Query{
+			{ID: 0, Fragments: []int{0}, Cost: 1, Frequency: 1},
+			{ID: 1, Fragments: []int{1}, Cost: 1, Frequency: 1},
+		},
+	}
+	alloc := model.NewAllocation(2)
+	alloc.AddFragment(0, 0)
+	alloc.AddFragment(1, 0)
+	alloc.AddFragment(1, 1)
+	m, err := EvaluateFailures(w, alloc, w.DefaultFrequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m.L[1], 1) {
+		t.Errorf("L[1] = %v, want +Inf (query 1 stranded)", m.L[1])
+	}
+	if m.Unservable != 1 {
+		t.Errorf("Unservable = %d, want 1", m.Unservable)
+	}
+	// Node 0's failure leaves node 1 with everything: L = 1.
+	if math.Abs(m.L[0]-1) > 1e-6 {
+		t.Errorf("L[0] = %v, want 1", m.L[0])
+	}
+}
+
+func TestFailureSingleNodeCluster(t *testing.T) {
+	w := &model.Workload{
+		Fragments: []model.Fragment{{ID: 0, Size: 1}},
+		Queries:   []model.Query{{ID: 0, Fragments: []int{0}, Cost: 1, Frequency: 1}},
+	}
+	alloc := model.NewAllocation(1)
+	alloc.AddFragment(0, 0)
+	l, err := WorstLoadWithFailure(w, alloc, w.DefaultFrequencies(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(l, 1) {
+		t.Errorf("single-node failure L = %v, want +Inf", l)
+	}
+}
+
+func TestFailureBadNode(t *testing.T) {
+	w := &model.Workload{
+		Fragments: []model.Fragment{{ID: 0, Size: 1}},
+		Queries:   []model.Query{{ID: 0, Fragments: []int{0}, Cost: 1, Frequency: 1}},
+	}
+	alloc := model.NewAllocation(2)
+	if _, err := WorstLoadWithFailure(w, alloc, w.DefaultFrequencies(), 5); err == nil {
+		t.Error("want error for out-of-range node")
+	}
+}
+
+// TestFailureNeverBetterThanHealthy: losing a node can never decrease the
+// worst-case load share.
+func TestFailureNeverBetterThanHealthy(t *testing.T) {
+	rng := newTestRNG(42)
+	for trial := 0; trial < 20; trial++ {
+		w := randomWorkload(rng, 6+rng.Intn(8), 4+rng.Intn(8))
+		k := 2 + rng.Intn(3)
+		alloc := randomAllocation(rng, w, k)
+		freq := w.DefaultFrequencies()
+		healthy, err := WorstLoadFlow(w, alloc, freq, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := EvaluateFailures(w, alloc, freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for kf, l := range m.L {
+			if !math.IsInf(l, 1) && l < healthy-1e-7 {
+				t.Errorf("trial %d: failure of node %d gives L=%.6f better than healthy %.6f",
+					trial, kf, l, healthy)
+			}
+		}
+	}
+}

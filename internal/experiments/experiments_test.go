@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchCfg(workload string, buf *bytes.Buffer) Config {
+	return Config{
+		Workload:    workload,
+		Bench:       true,
+		Budget:      time.Second,
+		OutOfSample: 3,
+		MaxQ:        80,
+		Seed:        1,
+		Out:         buf,
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(benchCfg("tpcds", &buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "rank", "cumulative", "top-50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(benchCfg("tpcds", &buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "W^D/V", "W^G/W^D", "2*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2AccountingFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale accounting clustering row")
+	}
+	var buf bytes.Buffer
+	if err := Table2(benchCfg("accounting", &buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4361") {
+		t.Errorf("table2 accounting output missing F=4361; got:\n%s", buf.String())
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness rows are slow")
+	}
+	var buf bytes.Buffer
+	if err := Table3(benchCfg("tpcds", &buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 3", "W(S)", "W^G(S)", "E(L~)-1/K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := benchCfg("nope", &buf)
+	if err := Fig1(cfg); err == nil {
+		t.Error("want error for unknown workload")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := benchCfg("accounting", &buf)
+	w, err := cfg.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := truncate(w, 50)
+	if tr.NumQueries() != 50 {
+		t.Fatalf("truncate kept %d queries, want 50", tr.NumQueries())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The kept queries must be the most expensive ones.
+	minKept := tr.Queries[0].Cost
+	for _, q := range tr.Queries {
+		if q.Cost < minKept {
+			minKept = q.Cost
+		}
+	}
+	dropped := 0
+	for _, q := range w.Queries {
+		if q.Cost > minKept {
+			dropped++
+		}
+	}
+	if dropped > 50 {
+		t.Errorf("%d queries more expensive than the cheapest kept one", dropped)
+	}
+	// Truncating beyond Q is the identity.
+	if truncate(w, 1<<30) != w {
+		t.Error("truncate with huge maxQ should return the input")
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fragalloc/internal/core"
+	"fragalloc/internal/eval"
+	"fragalloc/internal/greedy"
+	"fragalloc/internal/model"
+	"fragalloc/internal/scenario"
+)
+
+// Fig2 reproduces Figure 2 (TPC-DS, K = 8): (a) the memory-consumption vs
+// expected-relative-throughput frontier of partial clustering, the greedy
+// merge approach, and full replication over the unseen scenarios; and (b)
+// the per-scenario relative throughput of the merge allocation with S = 2
+// versus our allocation with S = 10 across every unseen scenario.
+func Fig2(cfg Config, perScenario bool) error {
+	cfg = cfg.withDefaults()
+	cfg.Workload = "tpcds" // the paper's Figure 2 is TPC-DS only
+	w, err := cfg.load()
+	if err != nil {
+		return err
+	}
+	unseen := scenario.OutOfSample(w, cfg.OutOfSample, scenario.DefaultP, cfg.Seed+1000)
+	spec, err := core.ParseChunks(table3Chunks)
+	if err != nil {
+		return err
+	}
+
+	oursS := []int{1, 5, 10}
+	mergeS := []int{1, 2, 3, 5, 10}
+	if cfg.Full {
+		oursS = []int{1, 3, 5, 7, 10, 20, 50}
+		mergeS = []int{1, 2, 3, 5, 10, 20, 50}
+	}
+	if cfg.Bench {
+		oursS = []int{1}
+		mergeS = []int{1, 2}
+	}
+
+	fmt.Fprintf(cfg.Out, "Figure 2a (%s): memory vs expected relative throughput over %d unseen scenarios; K=%d=%s\n",
+		w.Name, cfg.OutOfSample, table3K, table3Chunks)
+	t := newTable(cfg.Out)
+	fmt.Fprintln(t, "approach\tS\tW/V\tE((1/K)/L~)\tnote")
+
+	var oursAlloc10, merge2 *model.Allocation
+	for _, s := range oursS {
+		seen := scenario.InSample(w, s, scenario.DefaultP, cfg.Seed)
+		res, err := core.Allocate(w, seen, table3K, core.Options{
+			Chunks: spec, FixedQueries: 47, MIP: cfg.mipOptions(), Logf: cfg.coreLogf(),
+		})
+		if err != nil {
+			return fmt.Errorf("fig2 ours S=%d: %w", s, err)
+		}
+		m, err := eval.Evaluate(w, res.Allocation, unseen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(t, "partial clustering (F=47)\t%d\t%.3f\t%.3f\t%s\n",
+			s, res.ReplicationFactor, m.MeanThroughput, gapMark(res))
+		if s == 10 {
+			oursAlloc10 = res.Allocation
+		}
+	}
+	for _, s := range mergeS {
+		seen := scenario.InSample(w, s, scenario.DefaultP, cfg.Seed)
+		alloc, err := greedy.AllocateScenarios(w, seen, table3K)
+		if err != nil {
+			return err
+		}
+		m, err := eval.Evaluate(w, alloc, unseen)
+		if err != nil {
+			return err
+		}
+		repl := alloc.TotalData(w) / w.AccessedDataSize(seen.Frequencies...)
+		fmt.Fprintf(t, "greedy merge\t%d\t%.3f\t%.3f\t\n", s, repl, m.MeanThroughput)
+		if s == 2 {
+			merge2 = alloc
+		}
+	}
+	// Full replication balances every scenario perfectly at W/V = K.
+	fmt.Fprintf(t, "full replication\t/\t%.3f\t%.3f\t\n", float64(table3K), 1.0)
+	t.Flush()
+	fmt.Fprintln(cfg.Out)
+
+	if !perScenario {
+		return nil
+	}
+	if oursAlloc10 == nil || merge2 == nil {
+		return fmt.Errorf("fig2: per-scenario series need the S=10 (ours) and S=2 (merge) rows")
+	}
+	fmt.Fprintf(cfg.Out, "Figure 2b: per-scenario relative throughput (1/K)/L~ for all %d unseen scenarios\n", cfg.OutOfSample)
+	mOurs, err := eval.Evaluate(w, oursAlloc10, unseen)
+	if err != nil {
+		return err
+	}
+	mMerge, err := eval.Evaluate(w, merge2, unseen)
+	if err != nil {
+		return err
+	}
+	t = newTable(cfg.Out)
+	fmt.Fprintln(t, "scenario\tmerge S=2\tours S=10 (F=47)")
+	invK := 1.0 / table3K
+	for i := range mOurs.L {
+		fmt.Fprintf(t, "%d\t%.3f\t%.3f\n", i+1, invK/mMerge.L[i], invK/mOurs.L[i])
+	}
+	t.Flush()
+	fmt.Fprintln(cfg.Out)
+	return nil
+}

@@ -1,0 +1,249 @@
+// Package greedy implements the rule-based fragment allocation baseline of
+// Rabl and Jacobsen ("Query Centric Partitioning and Allocation for
+// Partially Replicated Database Systems", SIGMOD 2017), as described in
+// Section 2.2.2 of the reproduced paper, together with its merge extension
+// for multiple workload scenarios (Section 2.5).
+//
+// The heuristic orders queries by the product of their workload share and
+// the total size of their accessed fragments, and assigns each query to the
+// node whose already-allocated fragments overlap most with the query's
+// fragments (empty nodes count as complete overlap). Each node accepts at
+// most 1/K of the total workload; a query overflowing a node is split and
+// its remainder re-enters the queue. The approach is extremely fast but
+// allocates considerably more data than LP-based approaches — the trade-off
+// Tables 1 and 2 of the paper quantify.
+package greedy
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fragalloc/internal/hungarian"
+	"fragalloc/internal/model"
+)
+
+// item is a query (remainder) waiting for assignment.
+type item struct {
+	query    int
+	share    float64 // remaining workload share (fraction of total cost)
+	priority float64 // share × total accessed data size
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority // max-heap
+	}
+	return q[i].query < q[j].query // deterministic tie-break
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() any     { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+
+// Allocate computes a greedy allocation of w onto K nodes for the given
+// frequency vector (nil means the workload's default frequencies). The
+// returned allocation carries the routing shares for the input scenario.
+func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("greedy: K must be positive, got %d", k)
+	}
+	if freq == nil {
+		freq = w.DefaultFrequencies()
+	}
+	if len(freq) != len(w.Queries) {
+		return nil, fmt.Errorf("greedy: frequency vector has length %d, want %d", len(freq), len(w.Queries))
+	}
+	shares := w.QueryShares(freq)
+	dataSize := make([]float64, len(w.Queries))
+	for j := range w.Queries {
+		dataSize[j] = w.QueryDataSize(j)
+	}
+
+	q := &queue{}
+	for j := range w.Queries {
+		if shares[j] > 0 {
+			heap.Push(q, &item{query: j, share: shares[j], priority: shares[j] * dataSize[j]})
+		}
+	}
+
+	alloc := model.NewAllocation(k)
+	routing := make([][]float64, len(w.Queries))
+	for j := range routing {
+		routing[j] = make([]float64, k)
+	}
+	capacity := 1 / float64(k)
+	load := make([]float64, k)
+	hasQueries := make([]bool, k)
+	// stored[k][i] marks fragment presence for O(1) overlap computation.
+	stored := make([][]bool, k)
+	for n := range stored {
+		stored[n] = make([]bool, len(w.Fragments))
+	}
+
+	const eps = 1e-12
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*item)
+		j := it.query
+
+		// Pick the node with the largest fragment overlap (in bytes) among
+		// nodes with remaining capacity; empty nodes count as complete
+		// overlap. Ties go to the least-loaded node, then the lowest index.
+		best, bestOverlap := -1, -1.0
+		for n := 0; n < k; n++ {
+			if capacity-load[n] <= eps {
+				continue
+			}
+			overlap := dataSize[j]
+			if hasQueries[n] {
+				overlap = 0
+				for _, i := range w.Queries[j].Fragments {
+					if stored[n][i] {
+						overlap += w.Fragments[i].Size
+					}
+				}
+			}
+			if overlap > bestOverlap+eps ||
+				(overlap > bestOverlap-eps && best >= 0 && load[n] < load[best]-eps) {
+				best, bestOverlap = n, overlap
+			}
+		}
+		if best == -1 {
+			// All nodes full; only float dust can remain. Spread it on the
+			// least-loaded node to keep shares summing to one.
+			best = 0
+			for n := 1; n < k; n++ {
+				if load[n] < load[best] {
+					best = n
+				}
+			}
+			if it.share > 1e-6 {
+				return nil, fmt.Errorf("greedy: residual share %g for query %d with all nodes at capacity", it.share, j)
+			}
+		}
+
+		assign := it.share
+		if room := capacity - load[best]; assign > room+eps {
+			assign = room
+			// Remainder re-enters the queue with recomputed priority.
+			rem := it.share - assign
+			heap.Push(q, &item{query: j, share: rem, priority: rem * dataSize[j]})
+		}
+		for _, i := range w.Queries[j].Fragments {
+			if !stored[best][i] {
+				stored[best][i] = true
+				alloc.AddFragment(best, i)
+			}
+		}
+		load[best] += assign
+		hasQueries[best] = true
+		routing[j][best] += assign
+	}
+
+	// Convert absolute shares into per-query fractions z_{j,k} summing to 1.
+	for j := range w.Queries {
+		if shares[j] <= 0 {
+			// Unused query: park it on any node that can run it, or node 0.
+			continue
+		}
+		for n := 0; n < k; n++ {
+			routing[j][n] /= shares[j]
+		}
+	}
+	alloc.Shares = [][][]float64{routing}
+	return alloc, nil
+}
+
+// Merge combines two allocations with the same node count into one that can
+// balance both input workloads, using the Hungarian method to find the node
+// mapping minimizing the merged memory consumption (Section 2.5 of the
+// paper). Node u of a is merged with node assign[u] of b.
+func Merge(w *model.Workload, a, b *model.Allocation) (*model.Allocation, error) {
+	if a.K != b.K {
+		return nil, fmt.Errorf("greedy: cannot merge allocations with K=%d and K=%d", a.K, b.K)
+	}
+	k := a.K
+	cost := make([][]float64, k)
+	for u := 0; u < k; u++ {
+		cost[u] = make([]float64, k)
+		for v := 0; v < k; v++ {
+			cost[u][v] = unionSize(w, a.Fragments[u], b.Fragments[v])
+		}
+	}
+	assign, _, err := hungarian.Solve(cost)
+	if err != nil {
+		return nil, err
+	}
+	merged := model.NewAllocation(k)
+	for u := 0; u < k; u++ {
+		merged.Fragments[u] = unionSorted(a.Fragments[u], b.Fragments[assign[u]])
+	}
+	return merged, nil
+}
+
+// AllocateScenarios implements the merge extension: one greedy allocation
+// per scenario, merged pairwise with optimal node mappings. The result can
+// balance every input scenario (each scenario's own routing remains valid on
+// the merged, superset nodes).
+func AllocateScenarios(w *model.Workload, ss *model.ScenarioSet, k int) (*model.Allocation, error) {
+	if ss.S() == 0 {
+		return nil, fmt.Errorf("greedy: empty scenario set")
+	}
+	merged, err := Allocate(w, ss.Frequencies[0], k)
+	if err != nil {
+		return nil, err
+	}
+	merged.Shares = nil // per-scenario routing is re-derived by evaluators
+	for s := 1; s < ss.S(); s++ {
+		next, err := Allocate(w, ss.Frequencies[s], k)
+		if err != nil {
+			return nil, err
+		}
+		merged, err = Merge(w, merged, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+func unionSize(w *model.Workload, a, b []int) float64 {
+	var size float64
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			size += w.Fragments[a[i]].Size
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			size += w.Fragments[b[j]].Size
+			j++
+		default:
+			size += w.Fragments[a[i]].Size
+			i++
+			j++
+		}
+	}
+	return size
+}
+
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

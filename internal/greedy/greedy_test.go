@@ -1,0 +1,253 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fragalloc/internal/model"
+)
+
+// randomWorkload builds a small random but valid workload for tests.
+func randomWorkload(rng *rand.Rand, n, q int) *model.Workload {
+	w := &model.Workload{Name: "rand"}
+	for i := 0; i < n; i++ {
+		w.Fragments = append(w.Fragments, model.Fragment{ID: i, Size: 1 + rng.Float64()*99})
+	}
+	for j := 0; j < q; j++ {
+		nf := 1 + rng.Intn(4)
+		seen := map[int]bool{}
+		var fr []int
+		for len(fr) < nf {
+			i := rng.Intn(n)
+			if !seen[i] {
+				seen[i] = true
+				fr = append(fr, i)
+			}
+		}
+		w.Queries = append(w.Queries, model.Query{
+			ID: j, Fragments: fr, Cost: 0.1 + rng.Float64()*10, Frequency: 1,
+		})
+	}
+	w.NormalizeQueryFragments()
+	return w
+}
+
+func checkBalanced(t *testing.T, w *model.Workload, alloc *model.Allocation, freq []float64, s int) {
+	t.Helper()
+	if err := alloc.Validate(w); err != nil {
+		t.Fatalf("invalid allocation: %v", err)
+	}
+	loads := alloc.NodeLoads(w, freq, s)
+	capacity := 1 / float64(alloc.K)
+	var total float64
+	for k, l := range loads {
+		total += l
+		if l > capacity+1e-6 {
+			t.Errorf("node %d load %g exceeds capacity %g", k, l, capacity)
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("total load %g, want 1", total)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := randomWorkload(rng, 10, 5)
+	alloc, err := Allocate(w, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, w, alloc, w.DefaultFrequencies(), 0)
+	// One node must hold exactly the accessed fragments.
+	if got, want := alloc.TotalData(w), w.AccessedDataSize(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("single node stores %g, want %g", got, want)
+	}
+}
+
+func TestBalancedAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		w := randomWorkload(rng, 5+rng.Intn(30), 2+rng.Intn(40))
+		k := 1 + rng.Intn(6)
+		alloc, err := Allocate(w, nil, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkBalanced(t, w, alloc, w.DefaultFrequencies(), 0)
+	}
+}
+
+func TestStoredFragmentsAreUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := randomWorkload(rng, 25, 30)
+	alloc, err := Allocate(w, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fragment on a node must be accessed by a query routed there.
+	for k := 0; k < alloc.K; k++ {
+		needed := make(map[int]bool)
+		for j, q := range w.Queries {
+			if alloc.Shares[0][j][k] > 1e-12 {
+				for _, i := range q.Fragments {
+					needed[i] = true
+				}
+			}
+		}
+		for _, i := range alloc.Fragments[k] {
+			if !needed[i] {
+				t.Errorf("node %d stores unused fragment %d", k, i)
+			}
+		}
+	}
+}
+
+func TestHugeQueryIsSplit(t *testing.T) {
+	// A single query dominating the workload must be split across nodes.
+	w := &model.Workload{
+		Fragments: []model.Fragment{{ID: 0, Size: 10}, {ID: 1, Size: 5}},
+		Queries: []model.Query{
+			{ID: 0, Fragments: []int{0}, Cost: 100, Frequency: 1},
+			{ID: 1, Fragments: []int{1}, Cost: 1, Frequency: 1},
+		},
+	}
+	alloc, err := Allocate(w, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, w, alloc, w.DefaultFrequencies(), 0)
+	nodes := 0
+	for k := 0; k < 3; k++ {
+		if alloc.Shares[0][0][k] > 1e-9 {
+			nodes++
+		}
+	}
+	if nodes < 3 {
+		t.Errorf("dominating query split over %d nodes, want 3", nodes)
+	}
+}
+
+func TestZeroFrequencyQueriesIgnored(t *testing.T) {
+	w := &model.Workload{
+		Fragments: []model.Fragment{{ID: 0, Size: 10}, {ID: 1, Size: 99}},
+		Queries: []model.Query{
+			{ID: 0, Fragments: []int{0}, Cost: 1, Frequency: 1},
+			{ID: 1, Fragments: []int{1}, Cost: 1, Frequency: 0},
+		},
+	}
+	alloc, err := Allocate(w, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if alloc.HasFragment(k, 1) {
+			t.Errorf("fragment of zero-frequency query allocated on node %d", k)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	w := &model.Workload{
+		Fragments: []model.Fragment{{ID: 0, Size: 1}},
+		Queries:   []model.Query{{ID: 0, Fragments: []int{0}, Cost: 1, Frequency: 1}},
+	}
+	if _, err := Allocate(w, nil, 0); err == nil {
+		t.Error("want error for K=0")
+	}
+	if _, err := Allocate(w, []float64{1, 2}, 2); err == nil {
+		t.Error("want error for wrong frequency length")
+	}
+}
+
+func TestMergePreservesCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := randomWorkload(rng, 20, 25)
+	f1 := w.DefaultFrequencies()
+	f2 := make([]float64, len(f1))
+	for j := range f2 {
+		f2[j] = rng.Float64() * 2
+	}
+	a, err := Allocate(w, f1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Allocate(w, f2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(w, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	// The merged node u is a superset of a's node u, so a's routing stays
+	// valid; similarly b's routing under the (unknown to us) permutation.
+	for k := 0; k < 4; k++ {
+		for _, i := range a.Fragments[k] {
+			if !m.HasFragment(k, i) {
+				t.Errorf("merged node %d lost fragment %d of input a", k, i)
+			}
+		}
+	}
+	// Merged memory is at most the sum of the inputs.
+	if m.TotalData(w) > a.TotalData(w)+b.TotalData(w)+1e-9 {
+		t.Errorf("merged data %g exceeds sum of inputs %g", m.TotalData(w), a.TotalData(w)+b.TotalData(w))
+	}
+}
+
+func TestMergeMismatchedK(t *testing.T) {
+	if _, err := Merge(&model.Workload{}, model.NewAllocation(2), model.NewAllocation(3)); err == nil {
+		t.Error("want error for mismatched K")
+	}
+}
+
+func TestAllocateScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := randomWorkload(rng, 30, 40)
+	ss := &model.ScenarioSet{}
+	for s := 0; s < 4; s++ {
+		freq := make([]float64, len(w.Queries))
+		for j := range freq {
+			if rng.Float64() < 0.75 {
+				freq[j] = rng.Float64() * 2
+			}
+		}
+		// Ensure positive total cost.
+		freq[rng.Intn(len(freq))] = 1
+		ss.Frequencies = append(ss.Frequencies, freq)
+	}
+	m, err := AllocateScenarios(w, ss, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	// Every query with positive frequency in some scenario must be
+	// executable somewhere.
+	for j, q := range w.Queries {
+		positive := false
+		for s := range ss.Frequencies {
+			if ss.Frequencies[s][j] > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			continue
+		}
+		runnable := false
+		for k := 0; k < m.K; k++ {
+			if m.CanRun(&q, k) {
+				runnable = true
+				break
+			}
+		}
+		if !runnable {
+			t.Errorf("query %d not runnable on any merged node", j)
+		}
+	}
+}

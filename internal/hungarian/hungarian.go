@@ -1,0 +1,103 @@
+// Package hungarian solves the linear assignment problem in O(n³) using the
+// potentials (Jonker-Volgenant style) formulation of the Hungarian method.
+//
+// The merge extension of the greedy allocation baseline (Rabl & Jacobsen,
+// SIGMOD 2017; Section 2.5 of the reproduced paper) merges two K-node
+// allocations by finding the node mapping that minimizes the memory
+// consumption of the merged allocation — exactly a min-cost perfect matching
+// on a K×K cost matrix, which this package computes.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns a minimum-cost perfect assignment for the square cost
+// matrix: assign[r] = column assigned to row r. The total cost is returned
+// alongside. It panics if the matrix is not square or empty rows mismatch.
+func Solve(cost [][]float64) (assign []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for r := range cost {
+		if len(cost[r]) != n {
+			return nil, 0, fmt.Errorf("hungarian: row %d has %d entries, want %d", r, len(cost[r]), n)
+		}
+		for c := range cost[r] {
+			if math.IsNaN(cost[r][c]) {
+				return nil, 0, fmt.Errorf("hungarian: NaN cost at (%d,%d)", r, c)
+			}
+		}
+	}
+
+	// Classic O(n³) shortest augmenting path with dual potentials, using
+	// 1-based arrays internally with column 0 as the virtual root.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[col] = row assigned to col (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 {
+				return nil, 0, fmt.Errorf("hungarian: no augmenting path (non-finite costs?)")
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] != 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for r := range assign {
+		total += cost[r][assign[r]]
+	}
+	return assign, total, nil
+}

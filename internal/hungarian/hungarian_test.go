@@ -1,0 +1,122 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates all permutations to find the optimal assignment
+// cost. Exponential; only for small n in tests.
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(r int, acc float64)
+	rec = func(r int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if r == n {
+			best = acc
+			return
+		}
+		for c := 0; c < n; c++ {
+			if !used[c] {
+				used[c] = true
+				perm[r] = c
+				rec(r+1, acc+cost[r][c])
+				used[c] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestKnownInstance(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total = %g, want 5", total)
+	}
+	seen := make(map[int]bool)
+	for _, c := range assign {
+		if seen[c] {
+			t.Fatalf("assignment %v is not a permutation", assign)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSingle(t *testing.T) {
+	assign, total, err := Solve([][]float64{{7}})
+	if err != nil || total != 7 || assign[0] != 0 {
+		t.Errorf("got %v %g %v", assign, total, err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	assign, total, err := Solve(nil)
+	if err != nil || assign != nil || total != 0 {
+		t.Errorf("got %v %g %v", assign, total, err)
+	}
+}
+
+func TestNonSquare(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("want error for ragged matrix")
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Errorf("total = %g, want -10", total)
+	}
+}
+
+func TestRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(7)
+		cost := make([][]float64, n)
+		for r := range cost {
+			cost[r] = make([]float64, n)
+			for c := range cost[r] {
+				cost[r][c] = math.Round(rng.Float64()*1000) / 10
+			}
+		}
+		assign, total, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: total %g, brute force %g (assign %v)", trial, total, want, assign)
+		}
+		// Verify the reported total matches the assignment.
+		var check float64
+		for r, c := range assign {
+			check += cost[r][c]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %g, recomputed %g", trial, total, check)
+		}
+	}
+}

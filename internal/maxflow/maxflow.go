@@ -1,0 +1,119 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on graphs with
+// float64 capacities.
+//
+// The allocation evaluator (package eval) uses it to decide, for a candidate
+// worst-case load limit L, whether a query workload can be routed to the
+// nodes of a fixed fragment allocation without any node exceeding L — a
+// bipartite transportation feasibility question. A binary search over L then
+// yields the minimal worst-case load share L̃ of Section 4.2 of the paper,
+// orders of magnitude faster than re-solving the LP, and is cross-checked
+// against the LP evaluator in tests.
+package maxflow
+
+import "math"
+
+// Graph is a flow network under construction. Vertices are dense integers.
+type Graph struct {
+	n     int
+	heads [][]int // adjacency: vertex -> edge indices
+	to    []int
+	cap   []float64
+}
+
+// NewGraph returns a graph with n vertices and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, heads: make([][]int, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity (and its reverse
+// residual edge with capacity 0). It returns the edge index, which can be
+// passed to Flow after a run to inspect the flow pushed over the edge.
+func (g *Graph) AddEdge(u, v int, capacity float64) int {
+	id := len(g.to)
+	g.to = append(g.to, v, u)
+	g.cap = append(g.cap, capacity, 0)
+	g.heads[u] = append(g.heads[u], id)
+	g.heads[v] = append(g.heads[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently pushed over edge id (capacity of the
+// reverse residual edge). Only meaningful after MaxFlow ran.
+func (g *Graph) Flow(id int) float64 { return g.cap[id^1] }
+
+// Capacity returns the remaining residual capacity of edge id.
+func (g *Graph) Capacity(id int) float64 { return g.cap[id] }
+
+// SetCapacity resets the capacity of edge id and zeroes its residual
+// counterpart, allowing the graph to be re-used across MaxFlow runs with
+// different capacities (the evaluator's binary search does this).
+func (g *Graph) SetCapacity(id int, capacity float64) {
+	g.cap[id] = capacity
+	g.cap[id^1] = 0
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm. The epsilon
+// guards float comparisons; capacities below eps are treated as saturated.
+func (g *Graph) MaxFlow(s, t int, eps float64) float64 {
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range g.heads[u] {
+				if g.cap[id] > eps && level[g.to[id]] == -1 {
+					level[g.to[id]] = level[u] + 1
+					queue = append(queue, g.to[id])
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, limit float64) float64
+	dfs = func(u int, limit float64) float64 {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(g.heads[u]); iter[u]++ {
+			id := g.heads[u][iter[u]]
+			v := g.to[id]
+			if g.cap[id] <= eps || level[v] != level[u]+1 {
+				continue
+			}
+			pushed := dfs(v, math.Min(limit, g.cap[id]))
+			if pushed > eps {
+				g.cap[id] -= pushed
+				g.cap[id^1] += pushed
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	var total float64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(s, math.Inf(1))
+			if pushed <= eps {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}

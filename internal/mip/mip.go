@@ -1,0 +1,456 @@
+// Package mip solves mixed binary-integer linear programs by LP-based
+// branch and bound, using the bounded-variable simplex of package simplex
+// for the relaxations and warm-started dual re-solves when exploring the
+// tree.
+//
+// The solver is built for the fragment-allocation MIPs of the reproduced
+// paper: minimization problems whose integer variables are binaries (the
+// fragment-placement variables x and query-executability variables y),
+// where good incumbents can be constructed by domain-specific rounding.
+// It therefore supports
+//
+//   - best-first node selection with depth-first plunging,
+//   - most-fractional branching,
+//   - an optional caller-supplied rounding heuristic that proposes integer
+//     assignments which the solver completes into feasible incumbents, and
+//   - wall-clock and node budgets with proven-bound and gap reporting, so
+//     callers can trade solution quality for time exactly like the paper
+//     trades Gurobi time for memory quality.
+package mip
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"fragalloc/internal/simplex"
+)
+
+// Status describes the outcome of a MIP solve.
+type Status int
+
+const (
+	// StatusUnknown means the solve did not reach a conclusion.
+	StatusUnknown Status = iota
+	// StatusOptimal means the incumbent is optimal within the gap
+	// tolerances.
+	StatusOptimal
+	// StatusFeasible means a feasible incumbent exists but the search
+	// stopped (time/node limit) before proving optimality.
+	StatusFeasible
+	// StatusInfeasible means the problem has no feasible solution.
+	StatusInfeasible
+	// StatusNoSolution means a limit was reached before any feasible
+	// solution was found.
+	StatusNoSolution
+	// StatusUnbounded means the LP relaxation is unbounded.
+	StatusUnbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusNoSolution:
+		return "no-solution"
+	case StatusUnbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result reports the incumbent and the proven bound.
+type Result struct {
+	Status Status
+	// X is the incumbent solution (length NumVars) if one was found.
+	X []float64
+	// Obj is the incumbent objective value.
+	Obj float64
+	// Bound is the proven lower bound on the optimal objective. When the
+	// search completed, Bound equals Obj up to the gap tolerance.
+	Bound float64
+	// Gap is (Obj − Bound) / max(1, |Obj|); zero when proven optimal.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+	// Exact is false if any node LP failed numerically and was skipped, in
+	// which case Bound is best-effort rather than proven.
+	Exact bool
+}
+
+// Options tune the branch-and-bound search. The zero value uses the
+// defaults noted per field.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time; 0 means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of nodes; 0 means 1 << 30.
+	MaxNodes int
+	// RelGap is the relative optimality gap at which the search stops
+	// (default 1e-6).
+	RelGap float64
+	// AbsGap is the absolute gap at which the search stops (default 1e-9).
+	AbsGap float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Rounding, if non-nil, receives the (fractional) relaxation solution
+	// of a node and proposes values for the integer variables; the solver
+	// fixes them, re-solves the continuous rest, and adopts the result as
+	// incumbent when feasible and improving. Called at the root and
+	// periodically during the search.
+	Rounding func(x []float64) []float64
+	// RoundingEvery invokes Rounding every this many nodes (default 50).
+	RoundingEvery int
+	// MaxStallNodes, if positive, stops the search once this many nodes
+	// have been explored without an incumbent improvement — an adaptive
+	// stand-in for a time limit: easy instances converge and return in
+	// seconds, hard ones keep the full budget.
+	MaxStallNodes int
+	// Priority, if non-nil, biases branching: among fractional integer
+	// variables the one with the highest priority is branched first, with
+	// fractionality as the tie-break. Indexed by variable; variables
+	// without an entry default to 0.
+	Priority []float64
+	// Starts proposes initial values for the integer variables (same
+	// semantics as Rounding proposals): the solver fixes them, solves the
+	// continuous rest, and adopts the best feasible one as the first
+	// incumbent. Callers use this to inject solutions from domain-specific
+	// primal heuristics.
+	Starts [][]float64
+	// LP passes options through to the simplex solver.
+	LP simplex.Options
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1 << 30
+	}
+	if o.RelGap == 0 {
+		o.RelGap = 1e-6
+	}
+	if o.AbsGap == 0 {
+		o.AbsGap = 1e-9
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	if o.RoundingEvery == 0 {
+		o.RoundingEvery = 50
+	}
+	return o
+}
+
+type fixing struct {
+	j      int
+	lb, ub float64
+}
+
+type node struct {
+	path  []fixing // bound changes relative to the root
+	bound float64  // LP bound inherited from the parent
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any          { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h nodeHeap) peekBound() float64 { return h[0].bound }
+func (h nodeHeap) empty() bool        { return len(h) == 0 }
+
+// Solve minimizes the LP p with the variables listed in intVars restricted
+// to integer values. All integer variables must have finite bounds.
+func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	for _, j := range intVars {
+		if j < 0 || j >= p.NumVars {
+			return nil, fmt.Errorf("mip: integer variable %d outside [0,%d)", j, p.NumVars)
+		}
+		if math.IsInf(p.LB[j], -1) || math.IsInf(p.UB[j], 1) {
+			return nil, fmt.Errorf("mip: integer variable %d must have finite bounds", j)
+		}
+	}
+	s := &search{opt: opt, p: p, intVars: intVars, exact: true}
+	var err error
+	s.lp, err = simplex.NewSolver(p, opt.LP)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+type search struct {
+	opt     Options
+	p       *simplex.Problem
+	intVars []int
+	lp      *simplex.Solver // tree solver, bounds mutated per node
+	heur    *simplex.Solver // lazily created solver for rounding probes
+
+	incumbent   []float64
+	incObj      float64
+	hasInc      bool
+	nodes       int
+	lastImprove int // node count at the last incumbent improvement
+	exact       bool
+	deadline    time.Time
+}
+
+func (s *search) timedOut() bool {
+	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+}
+
+func (s *search) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// applyPath resets every integer variable to its root bounds and then
+// applies the node's fixings.
+func (s *search) applyPath(path []fixing) {
+	for _, j := range s.intVars {
+		s.lp.SetBound(j, s.p.LB[j], s.p.UB[j])
+	}
+	for _, f := range path {
+		s.lp.SetBound(f.j, f.lb, f.ub)
+	}
+}
+
+// fractionalVar returns the fractional integer variable with the highest
+// branching priority (fractionality breaking ties), or -1 if the relaxation
+// is integral within tolerance.
+func (s *search) fractionalVar(x []float64) int {
+	best := -1
+	var bestPrio, bestDist float64
+	for _, j := range s.intVars {
+		frac := x[j] - math.Floor(x[j])
+		dist := math.Min(frac, 1-frac)
+		if dist <= s.opt.IntTol {
+			continue
+		}
+		var prio float64
+		if j < len(s.opt.Priority) {
+			prio = s.opt.Priority[j]
+		}
+		if best == -1 || prio > bestPrio || (prio == bestPrio && dist > bestDist) {
+			best, bestPrio, bestDist = j, prio, dist
+		}
+	}
+	return best
+}
+
+// tryRounding asks the caller heuristic for an integral proposal and
+// evaluates it via tryProposal.
+func (s *search) tryRounding(x []float64) {
+	if s.opt.Rounding == nil {
+		return
+	}
+	s.tryProposal(s.opt.Rounding(x))
+}
+
+// tryProposal completes an integral proposal by solving the continuous
+// remainder, and updates the incumbent when feasible and improving.
+func (s *search) tryProposal(proposal []float64) {
+	if proposal == nil {
+		return
+	}
+	if s.heur == nil {
+		var err error
+		s.heur, err = simplex.NewSolver(s.p, s.opt.LP)
+		if err != nil {
+			return
+		}
+	}
+	for _, j := range s.intVars {
+		v := math.Round(proposal[j])
+		if v < s.p.LB[j] || v > s.p.UB[j] {
+			return // proposal violates root bounds
+		}
+		s.heur.SetBound(j, v, v)
+	}
+	res := s.heur.ReSolveDual()
+	if res.Status != simplex.StatusOptimal {
+		return
+	}
+	if !s.hasInc || res.Obj < s.incObj-s.opt.AbsGap {
+		s.incumbent = res.X
+		s.incObj = res.Obj
+		s.hasInc = true
+		s.lastImprove = s.nodes
+		s.logf("mip: rounding incumbent obj=%.6f", res.Obj)
+	}
+}
+
+func (s *search) accept(x []float64, obj float64) {
+	if !s.hasInc || obj < s.incObj-s.opt.AbsGap {
+		s.incumbent = append([]float64(nil), x...)
+		s.incObj = obj
+		s.hasInc = true
+		s.lastImprove = s.nodes
+		s.logf("mip: incumbent obj=%.6f after %d nodes", obj, s.nodes)
+	}
+}
+
+func (s *search) gapClosed(bound float64) bool {
+	if !s.hasInc {
+		return false
+	}
+	gap := s.incObj - bound
+	return gap <= s.opt.AbsGap || gap <= s.opt.RelGap*math.Max(1, math.Abs(s.incObj))
+}
+
+func (s *search) result(status Status, bound float64) *Result {
+	r := &Result{Status: status, Nodes: s.nodes, Bound: bound, Exact: s.exact}
+	if s.hasInc {
+		r.X = s.incumbent
+		r.Obj = s.incObj
+		r.Gap = math.Max(0, (s.incObj-bound)/math.Max(1, math.Abs(s.incObj)))
+		if status == StatusOptimal {
+			r.Bound = s.incObj
+			r.Gap = 0
+		}
+	}
+	return r
+}
+
+func (s *search) run() (*Result, error) {
+	if s.opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(s.opt.TimeLimit)
+	}
+	// Root relaxation.
+	res := s.lp.Solve()
+	s.nodes++
+	switch res.Status {
+	case simplex.StatusInfeasible:
+		return s.result(StatusInfeasible, math.Inf(1)), nil
+	case simplex.StatusUnbounded:
+		return s.result(StatusUnbounded, math.Inf(-1)), nil
+	case simplex.StatusOptimal:
+	default:
+		return nil, fmt.Errorf("mip: root relaxation failed with status %v", res.Status)
+	}
+	rootBound := res.Obj
+	s.logf("mip: root relaxation obj=%.6f after %d iters", res.Obj, res.Iters)
+	for _, start := range s.opt.Starts {
+		s.tryProposal(start)
+	}
+	s.tryRounding(res.X)
+
+	open := &nodeHeap{}
+	heap.Init(open)
+	heap.Push(open, &node{bound: rootBound})
+
+	for !open.empty() {
+		globalBound := open.peekBound()
+		if s.hasInc {
+			globalBound = math.Min(globalBound, s.incObj)
+		}
+		if s.gapClosed(globalBound) {
+			return s.result(StatusOptimal, globalBound), nil
+		}
+		stalled := s.opt.MaxStallNodes > 0 && s.hasInc && s.nodes-s.lastImprove > s.opt.MaxStallNodes
+		if s.timedOut() || s.nodes >= s.opt.MaxNodes || stalled {
+			if s.hasInc {
+				return s.result(StatusFeasible, globalBound), nil
+			}
+			return s.result(StatusNoSolution, globalBound), nil
+		}
+		nd := heap.Pop(open).(*node)
+		if s.hasInc && nd.bound >= s.incObj-s.opt.AbsGap {
+			continue // pruned by bound
+		}
+		s.plunge(nd, open)
+	}
+	if s.hasInc {
+		return s.result(StatusOptimal, s.incObj), nil
+	}
+	return s.result(StatusInfeasible, math.Inf(1)), nil
+}
+
+// plunge solves nd and then repeatedly descends into the child whose bound
+// looks most promising, pushing the sibling onto the heap, until the dive
+// is pruned, integral, or infeasible.
+func (s *search) plunge(nd *node, open *nodeHeap) {
+	s.applyPath(nd.path)
+	for {
+		res := s.lp.ReSolveDual()
+		s.nodes++
+		if res.Status != simplex.StatusOptimal && res.Status != simplex.StatusInfeasible {
+			// Numerical trouble or iteration limit: retry from a fresh
+			// basis before giving up on the subtree.
+			res = s.lp.Solve()
+		}
+		if res.Status == simplex.StatusInfeasible {
+			return
+		}
+		if res.Status != simplex.StatusOptimal {
+			// Still failing: skip this subtree and mark the bound as no
+			// longer proven.
+			s.exact = false
+			s.logf("mip: node LP status %v at node %d; subtree skipped", res.Status, s.nodes)
+			return
+		}
+		bound := res.Obj
+		s.logf("mip: node %d depth %d obj=%.6f iters=%d", s.nodes, len(nd.path), res.Obj, res.Iters)
+		if debugVerifyNodes {
+			cold := s.lp.Solve()
+			if cold.Status != res.Status || (res.Status == simplex.StatusOptimal && math.Abs(cold.Obj-res.Obj) > 1e-4*(1+math.Abs(cold.Obj))) {
+				s.logf("mip: NODE MISMATCH warm %v %.6f vs cold %v %.6f path=%v", res.Status, res.Obj, cold.Status, cold.Obj, nd.path)
+			}
+			res = cold
+		}
+		if s.hasInc && bound >= s.incObj-s.opt.AbsGap {
+			return // pruned
+		}
+		branch := s.fractionalVar(res.X)
+		if branch == -1 {
+			s.accept(res.X, bound)
+			return
+		}
+		if s.opt.Rounding != nil && s.nodes%s.opt.RoundingEvery == 0 {
+			s.tryRounding(res.X)
+		}
+		if s.timedOut() || s.nodes >= s.opt.MaxNodes {
+			// Push the node back so its bound stays visible to run().
+			heap.Push(open, &node{path: clonePath(nd.path), bound: bound})
+			return
+		}
+		v := res.X[branch]
+		floor, ceil := math.Floor(v), math.Ceil(v)
+		downFirst := v-floor <= ceil-v
+		lb, ub := s.lp.Bounds(branch)
+
+		downPath := append(clonePath(nd.path), fixing{branch, lb, floor})
+		upPath := append(clonePath(nd.path), fixing{branch, ceil, ub})
+		var divePath, siblingPath []fixing
+		if downFirst {
+			divePath, siblingPath = downPath, upPath
+		} else {
+			divePath, siblingPath = upPath, downPath
+		}
+		heap.Push(open, &node{path: siblingPath, bound: bound})
+		nd = &node{path: divePath, bound: bound}
+		// Apply only the new fixing; the rest of the path is already set.
+		f := divePath[len(divePath)-1]
+		s.lp.SetBound(f.j, f.lb, f.ub)
+	}
+}
+
+func clonePath(p []fixing) []fixing {
+	return append(make([]fixing, 0, len(p)+1), p...)
+}
+
+// debugVerifyNodes cold-solves every node LP and reports disagreements with
+// the warm dual re-solve; enabled by FRAGALLOC_VERIFY_NODES=1 for debugging.
+var debugVerifyNodes = os.Getenv("FRAGALLOC_VERIFY_NODES") == "1"

@@ -1,0 +1,230 @@
+// Package model defines the shared vocabulary of the fragment allocation
+// problem: fragments, queries, workloads, workload scenarios, and fragment
+// allocations. Every solver, generator, and evaluator in this module speaks
+// in these types.
+//
+// The problem follows Schlosser and Halfpap, "Robust and Memory-Efficient
+// Database Fragment Allocation for Large and Uncertain Database Workloads"
+// (EDBT 2021): a database is partitioned into N disjoint fragments, a
+// workload of Q queries must be balanced over K replica nodes, and a query
+// may execute on a node only if the node stores every fragment the query
+// accesses.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fragment is a disjoint piece of the database (here typically a single
+// column, possibly including the size of an index built on it).
+type Fragment struct {
+	// ID is the fragment's index in Workload.Fragments. It must equal the
+	// slice position.
+	ID int `json:"id"`
+	// Name is a human-readable label such as "store_sales.ss_item_sk".
+	Name string `json:"name,omitempty"`
+	// Size is the fragment's memory footprint in bytes.
+	Size float64 `json:"size"`
+}
+
+// Query is a (templated) query characterized by the set of fragments it
+// accesses and its average execution cost.
+type Query struct {
+	// ID is the query's index in Workload.Queries. It must equal the slice
+	// position.
+	ID int `json:"id"`
+	// Name is a human-readable label such as "tpcds.q17".
+	Name string `json:"name,omitempty"`
+	// Fragments lists the IDs of all fragments the query accesses, sorted
+	// ascending without duplicates. A query can only run on nodes storing
+	// all of them.
+	Fragments []int `json:"fragments"`
+	// Cost is the average execution cost c_j (e.g. milliseconds).
+	Cost float64 `json:"cost"`
+	// Frequency is the query's default frequency f_j, used when no explicit
+	// scenario is supplied. The paper's single-workload experiments use 1.
+	Frequency float64 `json:"frequency"`
+}
+
+// Workload is the full model input: the fragment catalog and the query set.
+type Workload struct {
+	// Name labels the workload, e.g. "tpcds-sf1" or "accounting".
+	Name      string     `json:"name,omitempty"`
+	Fragments []Fragment `json:"fragments"`
+	Queries   []Query    `json:"queries"`
+}
+
+// NumFragments returns N, the number of fragments.
+func (w *Workload) NumFragments() int { return len(w.Fragments) }
+
+// NumQueries returns Q, the number of queries.
+func (w *Workload) NumQueries() int { return len(w.Queries) }
+
+// DefaultFrequencies returns the per-query default frequencies f_j as a
+// slice indexed by query ID.
+func (w *Workload) DefaultFrequencies() []float64 {
+	f := make([]float64, len(w.Queries))
+	for j, q := range w.Queries {
+		f[j] = q.Frequency
+	}
+	return f
+}
+
+// TotalCost returns the total workload cost C = sum_j f_j * c_j for the
+// given frequency vector. It panics if len(freq) != Q.
+func (w *Workload) TotalCost(freq []float64) float64 {
+	if len(freq) != len(w.Queries) {
+		panic(fmt.Sprintf("model: frequency vector has length %d, want %d", len(freq), len(w.Queries)))
+	}
+	var c float64
+	for j, q := range w.Queries {
+		c += freq[j] * q.Cost
+	}
+	return c
+}
+
+// QueryShares returns the normalized workload shares f_j*c_j / C per query
+// for the given frequency vector. If the total cost is zero, all shares are
+// zero.
+func (w *Workload) QueryShares(freq []float64) []float64 {
+	total := w.TotalCost(freq)
+	shares := make([]float64, len(w.Queries))
+	if total == 0 {
+		return shares
+	}
+	for j, q := range w.Queries {
+		shares[j] = freq[j] * q.Cost / total
+	}
+	return shares
+}
+
+// QueryDataSize returns the total size of all fragments accessed by query j.
+func (w *Workload) QueryDataSize(j int) float64 {
+	var s float64
+	for _, i := range w.Queries[j].Fragments {
+		s += w.Fragments[i].Size
+	}
+	return s
+}
+
+// AccessedFragments returns the sorted IDs of all fragments accessed by at
+// least one query with a positive frequency. If freq is nil the default
+// frequencies are used.
+func (w *Workload) AccessedFragments(freq []float64) []int {
+	if freq == nil {
+		freq = w.DefaultFrequencies()
+	}
+	used := make([]bool, len(w.Fragments))
+	for j, q := range w.Queries {
+		if freq[j] <= 0 {
+			continue
+		}
+		for _, i := range q.Fragments {
+			used[i] = true
+		}
+	}
+	var ids []int
+	for i, u := range used {
+		if u {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// AccessedDataSize returns V, the total size of all fragments accessed by at
+// least one query with a positive frequency in at least one of the given
+// frequency vectors. With no vectors given, the default frequencies are
+// used. V normalizes the replication factor W/V.
+func (w *Workload) AccessedDataSize(freqs ...[]float64) float64 {
+	used := make([]bool, len(w.Fragments))
+	if len(freqs) == 0 {
+		freqs = [][]float64{w.DefaultFrequencies()}
+	}
+	for _, freq := range freqs {
+		for j, q := range w.Queries {
+			if freq[j] <= 0 {
+				continue
+			}
+			for _, i := range q.Fragments {
+				used[i] = true
+			}
+		}
+	}
+	var v float64
+	for i, u := range used {
+		if u {
+			v += w.Fragments[i].Size
+		}
+	}
+	return v
+}
+
+// Validate checks internal consistency: IDs match positions, fragment
+// references are in range, sorted, and unique, and sizes, costs, and
+// frequencies are non-negative.
+func (w *Workload) Validate() error {
+	for i, f := range w.Fragments {
+		if f.ID != i {
+			return fmt.Errorf("model: fragment at position %d has ID %d", i, f.ID)
+		}
+		if f.Size < 0 {
+			return fmt.Errorf("model: fragment %d has negative size %g", i, f.Size)
+		}
+	}
+	for j, q := range w.Queries {
+		if q.ID != j {
+			return fmt.Errorf("model: query at position %d has ID %d", j, q.ID)
+		}
+		if q.Cost < 0 {
+			return fmt.Errorf("model: query %d has negative cost %g", j, q.Cost)
+		}
+		if q.Frequency < 0 {
+			return fmt.Errorf("model: query %d has negative frequency %g", j, q.Frequency)
+		}
+		if len(q.Fragments) == 0 {
+			return fmt.Errorf("model: query %d accesses no fragments", j)
+		}
+		prev := -1
+		for _, i := range q.Fragments {
+			if i < 0 || i >= len(w.Fragments) {
+				return fmt.Errorf("model: query %d references fragment %d outside [0,%d)", j, i, len(w.Fragments))
+			}
+			if i <= prev {
+				return fmt.Errorf("model: query %d fragment list is not sorted/unique at %d", j, i)
+			}
+			prev = i
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the workload.
+func (w *Workload) Clone() *Workload {
+	c := &Workload{Name: w.Name}
+	c.Fragments = append([]Fragment(nil), w.Fragments...)
+	c.Queries = make([]Query, len(w.Queries))
+	for j, q := range w.Queries {
+		q.Fragments = append([]int(nil), q.Fragments...)
+		c.Queries[j] = q
+	}
+	return c
+}
+
+// NormalizeQueryFragments sorts and deduplicates each query's fragment list
+// in place. Generators may call this instead of maintaining the invariant
+// manually.
+func (w *Workload) NormalizeQueryFragments() {
+	for j := range w.Queries {
+		fr := w.Queries[j].Fragments
+		sort.Ints(fr)
+		out := fr[:0]
+		for idx, v := range fr {
+			if idx == 0 || v != fr[idx-1] {
+				out = append(out, v)
+			}
+		}
+		w.Queries[j].Fragments = out
+	}
+}

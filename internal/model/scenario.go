@@ -1,0 +1,79 @@
+package model
+
+import "fmt"
+
+// ScenarioSet holds S workload scenarios over the same query set. Scenario s
+// is a frequency vector f_{.,s}; query costs are shared with the workload.
+//
+// The paper's convention (Section 4.2): scenario 0 is the deterministic
+// baseline with f_j = 1 for all queries; further scenarios are randomly
+// diversified.
+type ScenarioSet struct {
+	// Frequencies[s][j] is the frequency of query j in scenario s.
+	Frequencies [][]float64 `json:"frequencies"`
+}
+
+// SingleScenario wraps one frequency vector as a ScenarioSet with S=1.
+func SingleScenario(freq []float64) *ScenarioSet {
+	return &ScenarioSet{Frequencies: [][]float64{freq}}
+}
+
+// DefaultScenario builds the S=1 scenario set from the workload's default
+// frequencies.
+func DefaultScenario(w *Workload) *ScenarioSet {
+	return SingleScenario(w.DefaultFrequencies())
+}
+
+// S returns the number of scenarios.
+func (ss *ScenarioSet) S() int { return len(ss.Frequencies) }
+
+// Validate checks that every scenario has exactly Q non-negative
+// frequencies and a positive total cost.
+func (ss *ScenarioSet) Validate(w *Workload) error {
+	if len(ss.Frequencies) == 0 {
+		return fmt.Errorf("model: scenario set is empty")
+	}
+	for s, freq := range ss.Frequencies {
+		if len(freq) != len(w.Queries) {
+			return fmt.Errorf("model: scenario %d has %d frequencies, want %d", s, len(freq), len(w.Queries))
+		}
+		for j, f := range freq {
+			if f < 0 {
+				return fmt.Errorf("model: scenario %d query %d has negative frequency %g", s, j, f)
+			}
+		}
+		if w.TotalCost(freq) <= 0 {
+			return fmt.Errorf("model: scenario %d has zero total cost", s)
+		}
+	}
+	return nil
+}
+
+// ExpectedLoads returns per-query expected normalized loads
+// E_s(f_{j,s}) * c_j averaged uniformly over scenarios, which the partial
+// clustering approach uses to order queries (Section 3.2).
+func (ss *ScenarioSet) ExpectedLoads(w *Workload) []float64 {
+	loads := make([]float64, len(w.Queries))
+	if len(ss.Frequencies) == 0 {
+		return loads
+	}
+	for _, freq := range ss.Frequencies {
+		for j := range loads {
+			loads[j] += freq[j] * w.Queries[j].Cost
+		}
+	}
+	inv := 1 / float64(len(ss.Frequencies))
+	for j := range loads {
+		loads[j] *= inv
+	}
+	return loads
+}
+
+// TotalCosts returns C_s for each scenario.
+func (ss *ScenarioSet) TotalCosts(w *Workload) []float64 {
+	cs := make([]float64, len(ss.Frequencies))
+	for s, freq := range ss.Frequencies {
+		cs[s] = w.TotalCost(freq)
+	}
+	return cs
+}

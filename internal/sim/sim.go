@@ -1,0 +1,213 @@
+// Package sim is a discrete-event simulator for query load balancing on a
+// partially replicated cluster. Where package eval computes the *analytic*
+// worst-case load share L̃ of an allocation (perfect fractional routing),
+// sim answers the operational question: if the scenario's query mix
+// actually arrives as a stream of individual executions dispatched by a
+// practical router, how busy do the nodes get and what throughput does the
+// cluster achieve?
+//
+// The simulator draws query executions according to scenario frequencies,
+// dispatches each to one of the nodes storing all required fragments using
+// a pluggable routing policy, and accumulates per-node busy time. With the
+// share-based policy and a long stream, the simulated relative throughput
+// converges to the analytic E((1/K)/L̃) — a property the tests assert —
+// while the least-loaded policy shows how well simple online dispatching
+// approximates the optimum, mirroring the dynamic load-balancing discussion
+// the paper cites (Halfpap & Schlosser, CIKM 2020).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fragalloc/internal/eval"
+	"fragalloc/internal/model"
+)
+
+// Policy decides which node executes a query instance.
+type Policy int
+
+const (
+	// LeastLoaded dispatches to the runnable node with the smallest
+	// accumulated busy time — the natural online heuristic.
+	LeastLoaded Policy = iota
+	// WeightedShares dispatches randomly, proportional to the allocation's
+	// certified routing shares when available, otherwise uniformly over
+	// the runnable nodes.
+	WeightedShares
+	// RoundRobin cycles deterministically through the runnable nodes of
+	// each query.
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case WeightedShares:
+		return "weighted-shares"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Executions is the number of query instances to dispatch (default
+	// 100000).
+	Executions int
+	// Policy selects the router (default LeastLoaded).
+	Policy Policy
+	// Scenario selects which routing-share scenario of the allocation the
+	// WeightedShares policy uses (default 0).
+	Scenario int
+	// Seed drives the query stream sampling (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executions == 0 {
+		c.Executions = 100000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// BusyTime is the accumulated execution cost per node.
+	BusyTime []float64
+	// Executions counts dispatched query instances per node.
+	Executions []int
+	// Dropped counts instances whose query no node could run.
+	Dropped int
+	// MaxShare is the busiest node's fraction of the total busy time — the
+	// simulated counterpart of L̃ (ideal: 1/K).
+	MaxShare float64
+	// RelativeThroughput is (1/K)/MaxShare, the simulated counterpart of
+	// the paper's expected relative throughput (ideal: 1.0).
+	RelativeThroughput float64
+}
+
+// Run simulates dispatching a stream of query executions drawn from the
+// frequency vector freq against the allocation.
+func Run(w *model.Workload, alloc *model.Allocation, freq []float64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(freq) != len(w.Queries) {
+		return nil, fmt.Errorf("sim: frequency vector has length %d, want %d", len(freq), len(w.Queries))
+	}
+	if cfg.Scenario < 0 {
+		return nil, fmt.Errorf("sim: negative scenario index %d", cfg.Scenario)
+	}
+	// Cumulative sampling distribution over queries, weighted by frequency.
+	cum := make([]float64, len(freq))
+	var total float64
+	for j, f := range freq {
+		if f < 0 {
+			return nil, fmt.Errorf("sim: negative frequency for query %d", j)
+		}
+		total += f
+		cum[j] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sim: scenario has no load")
+	}
+
+	runnable := eval.Runnable(w, alloc)
+	res := &Result{
+		BusyTime:   make([]float64, alloc.K),
+		Executions: make([]int, alloc.K),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rrPos := make([]int, len(w.Queries))
+
+	for n := 0; n < cfg.Executions; n++ {
+		// Sample a query by frequency.
+		r := rng.Float64() * total
+		j := sort.SearchFloat64s(cum, r)
+		if j == len(cum) {
+			j = len(cum) - 1
+		}
+		nodes := runnable[j]
+		if len(nodes) == 0 {
+			res.Dropped++
+			continue
+		}
+		var node int
+		switch cfg.Policy {
+		case LeastLoaded:
+			node = nodes[0]
+			for _, k := range nodes[1:] {
+				if res.BusyTime[k] < res.BusyTime[node] {
+					node = k
+				}
+			}
+		case WeightedShares:
+			node = pickByShares(rng, alloc, cfg.Scenario, j, nodes)
+		case RoundRobin:
+			node = nodes[rrPos[j]%len(nodes)]
+			rrPos[j]++
+		default:
+			return nil, fmt.Errorf("sim: unknown policy %v", cfg.Policy)
+		}
+		res.BusyTime[node] += w.Queries[j].Cost
+		res.Executions[node]++
+	}
+
+	var busyTotal, busyMax float64
+	for _, b := range res.BusyTime {
+		busyTotal += b
+		busyMax = math.Max(busyMax, b)
+	}
+	if busyTotal > 0 {
+		res.MaxShare = busyMax / busyTotal
+		res.RelativeThroughput = 1 / (res.MaxShare * float64(alloc.K))
+	}
+	return res, nil
+}
+
+// pickByShares samples a node proportionally to the allocation's certified
+// routing shares for query j; if the allocation carries no shares (or they
+// are all zero for j), it falls back to a uniform choice over the runnable
+// nodes.
+func pickByShares(rng *rand.Rand, alloc *model.Allocation, scenario, j int, nodes []int) int {
+	if scenario < len(alloc.Shares) && j < len(alloc.Shares[scenario]) {
+		shares := alloc.Shares[scenario][j]
+		var sum float64
+		for _, k := range nodes {
+			sum += shares[k]
+		}
+		if sum > 1e-12 {
+			r := rng.Float64() * sum
+			for _, k := range nodes {
+				r -= shares[k]
+				if r <= 0 {
+					return k
+				}
+			}
+			return nodes[len(nodes)-1]
+		}
+	}
+	return nodes[rng.Intn(len(nodes))]
+}
+
+// Compare runs every policy on the same stream seed and returns the results
+// keyed by policy, for quick side-by-side studies.
+func Compare(w *model.Workload, alloc *model.Allocation, freq []float64, cfg Config) (map[Policy]*Result, error) {
+	out := make(map[Policy]*Result, 3)
+	for _, p := range []Policy{LeastLoaded, WeightedShares, RoundRobin} {
+		c := cfg
+		c.Policy = p
+		r, err := Run(w, alloc, freq, c)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = r
+	}
+	return out, nil
+}

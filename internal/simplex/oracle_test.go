@@ -1,0 +1,92 @@
+package simplex
+
+import (
+	"math"
+)
+
+// naiveSolve is an independent test oracle: a dense full-tableau simplex
+// with Bland's rule for problems restricted to the shape
+//
+//	min cᵀx  s.t.  Ax ≤ b (b ≥ 0),  0 ≤ x_j ≤ u_j (u_j finite or +Inf)
+//
+// Finite upper bounds are expanded into explicit rows, so the origin slack
+// basis is always feasible and no phase 1 is needed. It returns the optimal
+// objective and ok=false if the problem is unbounded.
+func naiveSolve(c []float64, a [][]float64, b []float64, u []float64) (obj float64, ok bool) {
+	n := len(c)
+	// Expand bounds into rows.
+	rows := make([][]float64, 0, len(a)+n)
+	rhs := make([]float64, 0, len(a)+n)
+	for r := range a {
+		rows = append(rows, append([]float64(nil), a[r]...))
+		rhs = append(rhs, b[r])
+	}
+	for j := 0; j < n; j++ {
+		if !math.IsInf(u[j], 1) {
+			row := make([]float64, n)
+			row[j] = 1
+			rows = append(rows, row)
+			rhs = append(rhs, u[j])
+		}
+	}
+	m := len(rows)
+	// Tableau: m rows × (n + m + 1) columns; slack basis.
+	t := make([][]float64, m+1)
+	for r := 0; r < m; r++ {
+		t[r] = make([]float64, n+m+1)
+		copy(t[r], rows[r])
+		t[r][n+r] = 1
+		t[r][n+m] = rhs[r]
+	}
+	t[m] = make([]float64, n+m+1)
+	copy(t[m], c) // objective row holds c - z; minimize
+	basis := make([]int, m)
+	for r := range basis {
+		basis[r] = n + r
+	}
+	for iter := 0; iter < 100000; iter++ {
+		// Bland: first column with negative objective-row entry.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if t[m][j] < -1e-9 {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return -t[m][n+m], true
+		}
+		// Ratio test, Bland tie-break on smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < m; r++ {
+			if t[r][enter] > 1e-9 {
+				ratio := t[r][n+m] / t[r][enter]
+				if ratio < best-1e-12 || (ratio < best+1e-12 && (leave == -1 || basis[r] < basis[leave])) {
+					best, leave = ratio, r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, false // unbounded
+		}
+		piv := t[leave][enter]
+		for j := range t[leave] {
+			t[leave][j] /= piv
+		}
+		for r := 0; r <= m; r++ {
+			if r == leave {
+				continue
+			}
+			f := t[r][enter]
+			if f == 0 {
+				continue
+			}
+			for j := range t[r] {
+				t[r][j] -= f * t[leave][j]
+			}
+		}
+		basis[leave] = enter
+	}
+	return 0, false
+}

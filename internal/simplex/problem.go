@@ -1,0 +1,225 @@
+// Package simplex implements a revised simplex solver for linear programs
+// with bounded variables:
+//
+//	minimize    cᵀx
+//	subject to  row_r · x  (≤ | = | ≥)  b_r     r = 1..m
+//	            lb_j ≤ x_j ≤ ub_j               j = 1..n
+//
+// It is the numerical kernel behind the fragment-allocation LPs of the
+// reproduced paper and the LP relaxations inside the branch-and-bound MIP
+// solver (package mip). The implementation is a textbook bounded-variable
+// revised simplex with
+//
+//   - a dense basis inverse maintained by product-form (elementary) updates
+//     and periodic refactorization,
+//   - a two-phase primal method (phase 1 minimizes the sum of artificial
+//     variables),
+//   - Dantzig pricing with an automatic switch to Bland's rule after
+//     prolonged degenerate stalling, and
+//   - a bounded-variable dual simplex used to warm-start re-solves after
+//     bound changes (branching in the MIP solver).
+//
+// Only the Go standard library is used.
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+const (
+	// LE is row·x ≤ b.
+	LE Relation = iota
+	// GE is row·x ≥ b.
+	GE
+	// EQ is row·x = b.
+	EQ
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Row is a sparse constraint row: sum over t of Coef[t] * x[Idx[t]].
+type Row struct {
+	Idx  []int
+	Coef []float64
+}
+
+// Problem is a linear program in the bounded-variable form documented in the
+// package comment. All slices indexed by variable have length NumVars; Rows,
+// Rel and RHS have one entry per constraint.
+type Problem struct {
+	NumVars int
+	Obj     []float64 // objective coefficients (minimization)
+	LB, UB  []float64 // variable bounds; use math.Inf(±1) for free directions
+	Rows    []Row
+	Rel     []Relation
+	RHS     []float64
+}
+
+// AddVar appends a variable with the given bounds and objective coefficient
+// and returns its index.
+func (p *Problem) AddVar(lb, ub, obj float64) int {
+	j := p.NumVars
+	p.NumVars++
+	p.Obj = append(p.Obj, obj)
+	p.LB = append(p.LB, lb)
+	p.UB = append(p.UB, ub)
+	return j
+}
+
+// AddRow appends a constraint and returns its index. The row is stored as
+// given; callers must not mutate idx/coef afterwards.
+func (p *Problem) AddRow(idx []int, coef []float64, rel Relation, rhs float64) int {
+	r := len(p.Rows)
+	p.Rows = append(p.Rows, Row{Idx: idx, Coef: coef})
+	p.Rel = append(p.Rel, rel)
+	p.RHS = append(p.RHS, rhs)
+	return r
+}
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if len(p.Obj) != p.NumVars || len(p.LB) != p.NumVars || len(p.UB) != p.NumVars {
+		return fmt.Errorf("simplex: obj/lb/ub length mismatch with NumVars=%d", p.NumVars)
+	}
+	if len(p.Rel) != len(p.Rows) || len(p.RHS) != len(p.Rows) {
+		return fmt.Errorf("simplex: rel/rhs length mismatch with %d rows", len(p.Rows))
+	}
+	for j := 0; j < p.NumVars; j++ {
+		if p.LB[j] > p.UB[j] {
+			return fmt.Errorf("simplex: variable %d has lb %g > ub %g", j, p.LB[j], p.UB[j])
+		}
+		if math.IsNaN(p.LB[j]) || math.IsNaN(p.UB[j]) || math.IsNaN(p.Obj[j]) {
+			return fmt.Errorf("simplex: variable %d has NaN data", j)
+		}
+	}
+	for r, row := range p.Rows {
+		if len(row.Idx) != len(row.Coef) {
+			return fmt.Errorf("simplex: row %d has %d indices but %d coefficients", r, len(row.Idx), len(row.Coef))
+		}
+		for t, j := range row.Idx {
+			if j < 0 || j >= p.NumVars {
+				return fmt.Errorf("simplex: row %d references variable %d outside [0,%d)", r, j, p.NumVars)
+			}
+			if math.IsNaN(row.Coef[t]) || math.IsInf(row.Coef[t], 0) {
+				return fmt.Errorf("simplex: row %d has non-finite coefficient for variable %d", r, j)
+			}
+		}
+		if math.IsNaN(p.RHS[r]) || math.IsInf(p.RHS[r], 0) {
+			return fmt.Errorf("simplex: row %d has non-finite rhs", r)
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// StatusUnknown means the solver has not run or was interrupted before
+	// reaching a conclusion.
+	StatusUnknown Status = iota
+	// StatusOptimal means an optimal basic solution was found.
+	StatusOptimal
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective decreases without bound.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was hit first.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result holds the outcome of a solve.
+type Result struct {
+	Status Status
+	// X holds the values of the structural variables (length NumVars) when
+	// Status is StatusOptimal; otherwise it is nil.
+	X []float64
+	// Obj is cᵀx at the returned point.
+	Obj float64
+	// Iters is the total number of simplex pivots performed (both phases).
+	Iters int
+}
+
+// Options tune the solver. The zero value selects the defaults below.
+type Options struct {
+	// MaxIters bounds the total pivot count; 0 means 50000 + 50*(m+n).
+	MaxIters int
+	// FeasTol is the primal feasibility tolerance (default 1e-7).
+	FeasTol float64
+	// OptTol is the reduced-cost optimality tolerance (default 1e-7).
+	OptTol float64
+	// PivotTol is the minimum magnitude of an acceptable pivot element
+	// (default 1e-8).
+	PivotTol float64
+	// RefactorEvery forces a refactorization of the basis inverse after
+	// this many updates (default 120).
+	RefactorEvery int
+	// MaxDenseRows rejects problems whose row count would make the dense
+	// m×m basis inverse unreasonably large (default 8000, ≈ 512 MB).
+	// Callers hitting this limit should shrink the model — for the
+	// allocation LPs, that is exactly what the paper's partial clustering
+	// is for.
+	MaxDenseRows int
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 50000 + 50*(m+n)
+	}
+	if o.FeasTol == 0 {
+		o.FeasTol = 1e-7
+	}
+	if o.OptTol == 0 {
+		o.OptTol = 1e-7
+	}
+	if o.PivotTol == 0 {
+		o.PivotTol = 1e-8
+	}
+	if o.RefactorEvery == 0 {
+		o.RefactorEvery = 120
+	}
+	if o.MaxDenseRows == 0 {
+		o.MaxDenseRows = 8000
+	}
+	return o
+}
+
+// Solve is the one-shot convenience entry point: build a Solver, run the
+// two-phase primal simplex, and return the result.
+func Solve(p *Problem, opt Options) (*Result, error) {
+	s, err := NewSolver(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(), nil
+}

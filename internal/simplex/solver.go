@@ -1,0 +1,502 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Variable status codes. Nonbasic variables sit at a bound (or at zero for
+// free variables); basic variables carry their value in xB.
+const (
+	nbLower int8 = iota // nonbasic at lower bound
+	nbUpper             // nonbasic at upper bound
+	nbFree              // nonbasic free variable, value 0
+	isBasic
+)
+
+type colEntry struct {
+	row int
+	val float64
+}
+
+// Solver holds the computational form of a problem plus the current basis.
+// It supports a cold-start two-phase primal solve and warm-started dual
+// re-solves after bound changes (see SetBound and ReSolveDual), which is how
+// the MIP branch-and-bound explores its tree.
+type Solver struct {
+	opt Options
+
+	m, n  int // constraint and structural variable counts
+	ncols int // n structurals + m slacks + artificials
+
+	cols  [][]colEntry // sparse columns, including slacks and artificials
+	cost  []float64    // phase-2 (true) objective per column
+	pcost []float64    // active-phase objective per column
+	lb    []float64
+	ub    []float64
+	rhs   []float64
+
+	basic    []int // basic[r] = column basic in row r
+	basisRow []int // basisRow[j] = row of basic column j, or -1
+	vstat    []int8
+	xB       []float64
+	binv     [][]float64 // dense m×m basis inverse
+	updates  int         // product-form updates since last refactorization
+
+	iters int
+	bland bool // anti-cycling mode
+	stall int  // consecutive degenerate pivots
+
+	// scratch buffers
+	y, w, rho, tmpRHS []float64
+}
+
+// NewSolver builds the computational form for p. The problem data is copied;
+// p may be reused or mutated afterwards.
+func NewSolver(p *Problem, opt Options) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := len(p.Rows), p.NumVars
+	if limit := opt.withDefaults(m, n).MaxDenseRows; m > limit {
+		return nil, fmt.Errorf("simplex: %d rows exceed the dense-basis limit %d; reduce the model (e.g. via partial clustering) or raise Options.MaxDenseRows", m, limit)
+	}
+	s := &Solver{
+		opt:   opt.withDefaults(m, n),
+		m:     m,
+		n:     n,
+		ncols: n + m,
+		cols:  make([][]colEntry, n+m),
+		cost:  make([]float64, n+m),
+		lb:    make([]float64, n+m),
+		ub:    make([]float64, n+m),
+		rhs:   append([]float64(nil), p.RHS...),
+		vstat: make([]int8, n+m),
+		basic: make([]int, m),
+		xB:    make([]float64, m),
+	}
+	s.basisRow = make([]int, n+m)
+	copy(s.cost, p.Obj)
+	copy(s.lb, p.LB)
+	copy(s.ub, p.UB)
+	// Structural columns, gathered row-wise then transposed to column-major.
+	counts := make([]int, n)
+	for _, row := range p.Rows {
+		for _, j := range row.Idx {
+			counts[j]++
+		}
+	}
+	for j := 0; j < n; j++ {
+		s.cols[j] = make([]colEntry, 0, counts[j])
+	}
+	for r, row := range p.Rows {
+		for t, j := range row.Idx {
+			if row.Coef[t] != 0 {
+				s.cols[j] = append(s.cols[j], colEntry{row: r, val: row.Coef[t]})
+			}
+		}
+	}
+	// Slack columns: row·x + slack = b with slack bounds by relation.
+	for r := 0; r < m; r++ {
+		j := n + r
+		s.cols[j] = []colEntry{{row: r, val: 1}}
+		switch p.Rel[r] {
+		case LE:
+			s.lb[j], s.ub[j] = 0, math.Inf(1)
+		case GE:
+			s.lb[j], s.ub[j] = math.Inf(-1), 0
+		case EQ:
+			s.lb[j], s.ub[j] = 0, 0
+		default:
+			return nil, fmt.Errorf("simplex: row %d has invalid relation %d", r, int(p.Rel[r]))
+		}
+	}
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.rho = make([]float64, m)
+	s.tmpRHS = make([]float64, m)
+	s.binv = make([][]float64, m)
+	for r := range s.binv {
+		s.binv[r] = make([]float64, m)
+	}
+	return s, nil
+}
+
+// nonbasicValue returns the current value of nonbasic column j.
+func (s *Solver) nonbasicValue(j int) float64 {
+	switch s.vstat[j] {
+	case nbLower:
+		return s.lb[j]
+	case nbUpper:
+		return s.ub[j]
+	default: // nbFree
+		return 0
+	}
+}
+
+// initialStatus places column j at its most natural nonbasic position: the
+// finite bound closest to zero, or free at zero.
+func (s *Solver) initialStatus(j int) int8 {
+	lf, uf := !math.IsInf(s.lb[j], -1), !math.IsInf(s.ub[j], 1)
+	switch {
+	case lf && uf:
+		if math.Abs(s.ub[j]) < math.Abs(s.lb[j]) {
+			return nbUpper
+		}
+		return nbLower
+	case lf:
+		return nbLower
+	case uf:
+		return nbUpper
+	default:
+		return nbFree
+	}
+}
+
+// initBasis builds the starting basis: every slack whose required value fits
+// its bounds becomes basic; rows whose slack cannot absorb the residual get
+// an artificial variable (phase-1 cost 1) instead. After this the basis is
+// primal feasible by construction, possibly via artificials.
+//
+// It returns the number of artificial columns added.
+func (s *Solver) initBasis() int {
+	// Place structurals (and provisionally slacks) nonbasic.
+	for j := 0; j < s.ncols; j++ {
+		s.vstat[j] = s.initialStatus(j)
+		s.basisRow[j] = -1
+	}
+	// Row residuals with all structurals at their nonbasic values.
+	res := s.tmpRHS
+	copy(res, s.rhs)
+	for j := 0; j < s.n; j++ {
+		if v := s.nonbasicValue(j); v != 0 {
+			for _, e := range s.cols[j] {
+				res[e.row] -= e.val * v
+			}
+		}
+	}
+	nart := 0
+	for r := 0; r < s.m; r++ {
+		sl := s.n + r
+		v := res[r]
+		if v >= s.lb[sl]-s.opt.FeasTol && v <= s.ub[sl]+s.opt.FeasTol {
+			// Slack absorbs the residual: basic and feasible.
+			s.vstat[sl] = isBasic
+			s.basic[r] = sl
+			s.basisRow[sl] = r
+			s.xB[r] = v
+			continue
+		}
+		// Clamp slack to its nearest bound and cover the rest with an
+		// artificial of matching sign so its value is non-negative.
+		if v < s.lb[sl] {
+			s.vstat[sl] = nbLower
+		} else {
+			s.vstat[sl] = nbUpper
+		}
+		gap := v - s.nonbasicValue(sl)
+		sign := 1.0
+		if gap < 0 {
+			sign = -1.0
+			gap = -gap
+		}
+		aj := s.addArtificial(r, sign)
+		s.basic[r] = aj
+		s.basisRow[aj] = r
+		s.vstat[aj] = isBasic
+		s.xB[r] = gap
+		nart++
+	}
+	s.identityBasisInverse()
+	return nart
+}
+
+// addArtificial appends an artificial column (±1 in row r, bounds [0,∞),
+// true cost 0) and returns its index.
+func (s *Solver) addArtificial(r int, sign float64) int {
+	j := s.ncols
+	s.ncols++
+	s.cols = append(s.cols, []colEntry{{row: r, val: sign}})
+	s.cost = append(s.cost, 0)
+	s.lb = append(s.lb, 0)
+	s.ub = append(s.ub, math.Inf(1))
+	s.vstat = append(s.vstat, nbLower)
+	s.basisRow = append(s.basisRow, -1)
+	return j
+}
+
+// identityBasisInverse resets binv for a basis whose matrix columns are
+// signed units (the initial slack/artificial basis).
+func (s *Solver) identityBasisInverse() {
+	for r := 0; r < s.m; r++ {
+		row := s.binv[r]
+		for c := range row {
+			row[c] = 0
+		}
+		// The basic column in row r is a unit column ±1 in row r.
+		row[r] = 1 / s.cols[s.basic[r]][0].val
+	}
+	s.updates = 0
+}
+
+// ftran computes w = B⁻¹ · A_j into s.w and returns it.
+func (s *Solver) ftran(j int) []float64 {
+	w := s.w
+	for r := range w {
+		w[r] = 0
+	}
+	for _, e := range s.cols[j] {
+		v := e.val
+		col := e.row
+		for r := 0; r < s.m; r++ {
+			w[r] += s.binv[r][col] * v
+		}
+	}
+	return w
+}
+
+// btran computes y = (pcost_B)ᵀ · B⁻¹ into s.y and returns it.
+func (s *Solver) btran() []float64 {
+	y := s.y
+	for c := range y {
+		y[c] = 0
+	}
+	for r := 0; r < s.m; r++ {
+		cb := s.pcost[s.basic[r]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[r]
+		for c := 0; c < s.m; c++ {
+			y[c] += cb * row[c]
+		}
+	}
+	return y
+}
+
+// binvRow copies row r of B⁻¹ into s.rho and returns it.
+func (s *Solver) binvRow(r int) []float64 {
+	copy(s.rho, s.binv[r])
+	return s.rho
+}
+
+// reducedCost returns c_j − y·A_j for the active phase cost.
+func (s *Solver) reducedCost(j int, y []float64) float64 {
+	d := s.pcost[j]
+	for _, e := range s.cols[j] {
+		d -= y[e.row] * e.val
+	}
+	return d
+}
+
+// computeXB recomputes the basic values xB = B⁻¹(b − N·x_N) from scratch.
+func (s *Solver) computeXB() {
+	res := s.tmpRHS
+	copy(res, s.rhs)
+	for j := 0; j < s.ncols; j++ {
+		if s.vstat[j] == isBasic {
+			continue
+		}
+		if v := s.nonbasicValue(j); v != 0 {
+			for _, e := range s.cols[j] {
+				res[e.row] -= e.val * v
+			}
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		var sum float64
+		row := s.binv[r]
+		for c := 0; c < s.m; c++ {
+			sum += row[c] * res[c]
+		}
+		s.xB[r] = sum
+	}
+}
+
+// refactor recomputes the basis inverse from scratch by Gauss-Jordan
+// elimination with partial pivoting. It returns an error if the basis
+// matrix is numerically singular.
+func (s *Solver) refactor() error {
+	m := s.m
+	// Build dense B.
+	b := make([][]float64, m)
+	for r := range b {
+		b[r] = make([]float64, m)
+	}
+	for c, j := range s.basic {
+		for _, e := range s.cols[j] {
+			b[e.row][c] = e.val
+		}
+	}
+	// Initialize inverse to identity.
+	inv := s.binv
+	for r := 0; r < m; r++ {
+		row := inv[r]
+		for c := range row {
+			row[c] = 0
+		}
+		row[r] = 1
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p, best := -1, s.opt.PivotTol
+		for r := c; r < m; r++ {
+			if a := math.Abs(b[r][c]); a > best {
+				p, best = r, a
+			}
+		}
+		if p < 0 {
+			return fmt.Errorf("simplex: singular basis at column %d", c)
+		}
+		b[c], b[p] = b[p], b[c]
+		inv[c], inv[p] = inv[p], inv[c]
+		piv := 1 / b[c][c]
+		for k := 0; k < m; k++ {
+			b[c][k] *= piv
+			inv[c][k] *= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := b[r][c]
+			if f == 0 {
+				continue
+			}
+			br, bc := b[r], b[c]
+			ir, ic := inv[r], inv[c]
+			for k := 0; k < m; k++ {
+				br[k] -= f * bc[k]
+				ir[k] -= f * ic[k]
+			}
+		}
+	}
+	s.updates = 0
+	return nil
+}
+
+// pivot replaces the basic variable of row r with entering column e, whose
+// ftran column is w (already computed). It updates binv, statuses, and the
+// bookkeeping; xB must be updated by the caller beforehand.
+func (s *Solver) pivot(r, e int, w []float64) {
+	piv := 1 / w[r]
+	rowR := s.binv[r]
+	for c := 0; c < s.m; c++ {
+		rowR[c] *= piv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		rowI := s.binv[i]
+		for c := 0; c < s.m; c++ {
+			rowI[c] -= f * rowR[c]
+		}
+	}
+	s.basisRow[s.basic[r]] = -1
+	s.basic[r] = e
+	s.basisRow[e] = r
+	s.vstat[e] = isBasic
+	s.updates++
+}
+
+// objective returns the active-phase objective at the current point.
+func (s *Solver) objective() float64 {
+	var obj float64
+	for j := 0; j < s.ncols; j++ {
+		if s.pcost[j] == 0 {
+			continue
+		}
+		obj += s.pcost[j] * s.value(j)
+	}
+	return obj
+}
+
+// value returns the current value of any column.
+func (s *Solver) value(j int) float64 {
+	if s.vstat[j] == isBasic {
+		return s.xB[s.basisRow[j]]
+	}
+	return s.nonbasicValue(j)
+}
+
+// extract builds the structural solution vector.
+func (s *Solver) extract() []float64 {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.vstat[j] != isBasic {
+			x[j] = s.nonbasicValue(j)
+		}
+	}
+	for r, j := range s.basic {
+		if j < s.n {
+			x[j] = s.xB[r]
+		}
+	}
+	return x
+}
+
+// trueObjective returns cᵀx for the true (phase-2) costs.
+func (s *Solver) trueObjective() float64 {
+	var obj float64
+	for j := 0; j < s.n; j++ {
+		if s.cost[j] == 0 {
+			continue
+		}
+		obj += s.cost[j] * s.value(j)
+	}
+	return obj
+}
+
+// Solve runs the two-phase primal simplex from a fresh slack/artificial
+// basis and returns the result.
+func (s *Solver) Solve() *Result {
+	s.iters = 0
+	s.bland = false
+	s.stall = 0
+	nart := s.initBasis()
+	if nart > 0 {
+		// Phase 1: minimize the sum of artificials.
+		s.pcost = make([]float64, s.ncols)
+		for j := s.n + s.m; j < s.ncols; j++ {
+			s.pcost[j] = 1
+		}
+		res := s.runPrimal(true)
+		if res != StatusOptimal {
+			if res == StatusIterLimit {
+				return &Result{Status: StatusIterLimit, Iters: s.iters}
+			}
+			// Phase 1 is bounded below by 0, so non-optimal here means
+			// numerical failure; report as unknown.
+			return &Result{Status: StatusUnknown, Iters: s.iters}
+		}
+		if s.objective() > 1e-6 {
+			return &Result{Status: StatusInfeasible, Iters: s.iters}
+		}
+		// Freeze artificials at zero so they can never re-enter.
+		for j := s.n + s.m; j < s.ncols; j++ {
+			s.lb[j], s.ub[j] = 0, 0
+		}
+	} else {
+		s.pcost = nil
+	}
+	// Phase 2: true objective.
+	s.pcost = make([]float64, s.ncols)
+	copy(s.pcost, s.cost)
+	s.bland = false
+	s.stall = 0
+	res := s.runPrimal(false)
+	switch res {
+	case StatusOptimal:
+		return &Result{Status: StatusOptimal, X: s.extract(), Obj: s.trueObjective(), Iters: s.iters}
+	case StatusUnbounded:
+		return &Result{Status: StatusUnbounded, Iters: s.iters}
+	case StatusIterLimit:
+		return &Result{Status: StatusIterLimit, Iters: s.iters}
+	}
+	return &Result{Status: StatusUnknown, Iters: s.iters}
+}

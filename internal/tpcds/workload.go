@@ -1,0 +1,262 @@
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fragalloc/internal/model"
+)
+
+// Index-size model for primary-key columns: a B-tree entry per row plus a
+// fixed base, standing in for the paper's pg_table_size(index_name).
+const (
+	indexBytesPerRow = 16
+	indexBaseBytes   = 8192
+)
+
+// omitted are the query templates the paper dropped for exceeding its 120 s
+// timeout, leaving Q = 94.
+var omitted = map[int]bool{1: true, 4: true, 6: true, 11: true, 74: true}
+
+// DefaultSeed produces the canonical workload used by the experiment
+// harness and EXPERIMENTS.md.
+const DefaultSeed = 1
+
+// Workload returns the canonical TPC-DS workload (seed DefaultSeed):
+// N = 425 fragments and Q = 94 queries with default frequency 1.
+func Workload() *model.Workload { return WorkloadSeed(DefaultSeed) }
+
+// WorkloadSeed builds the TPC-DS workload with a specific generator seed
+// for the synthetic query footprints and costs. The fragment catalog is
+// seed-independent.
+func WorkloadSeed(seed int64) *model.Workload {
+	cat := Catalog()
+	w := &model.Workload{Name: "tpcds-sf1"}
+
+	// Fragments: one per column, in catalog order.
+	colID := make(map[string]int) // "table.column" -> fragment ID
+	tableCols := make(map[string][]int)
+	for _, t := range cat {
+		for _, c := range t.Columns {
+			size := float64(t.Rows) * c.Bytes
+			if c.PK {
+				size += float64(t.Rows)*indexBytesPerRow + indexBaseBytes
+			}
+			id := len(w.Fragments)
+			name := t.Name + "." + c.Name
+			w.Fragments = append(w.Fragments, model.Fragment{ID: id, Name: name, Size: size})
+			colID[name] = id
+			tableCols[t.Name] = append(tableCols[t.Name], id)
+		}
+	}
+
+	g := &queryGen{
+		rng:       rand.New(rand.NewSource(seed)),
+		cat:       cat,
+		colID:     colID,
+		tableCols: tableCols,
+	}
+
+	// Query names follow the official template numbering, skipping the five
+	// timed-out templates.
+	num := 0
+	for len(w.Queries) < 94 {
+		num++
+		if omitted[num] {
+			continue
+		}
+		q := g.query(len(w.Queries), fmt.Sprintf("q%d", num))
+		w.Queries = append(w.Queries, q)
+	}
+	w.NormalizeQueryFragments()
+	return w
+}
+
+type queryGen struct {
+	rng       *rand.Rand
+	cat       []Table
+	colID     map[string]int
+	tableCols map[string][]int
+}
+
+// table returns the catalog entry by name.
+func (g *queryGen) table(name string) *Table {
+	for i := range g.cat {
+		if g.cat[i].Name == name {
+			return &g.cat[i]
+		}
+	}
+	panic("tpcds: unknown table " + name)
+}
+
+// pick adds column "table.name" to the access set.
+func (g *queryGen) pick(set map[int]bool, table, column string) {
+	id, ok := g.colID[table+"."+column]
+	if !ok {
+		panic("tpcds: unknown column " + table + "." + column)
+	}
+	set[id] = true
+}
+
+// pickRandom adds n random distinct columns of the table matching the given
+// predicate on the column spec.
+func (g *queryGen) pickRandom(set map[int]bool, table string, n int, pred func(Column) bool) {
+	t := g.table(table)
+	var candidates []int
+	for ci, c := range t.Columns {
+		if pred(c) {
+			candidates = append(candidates, ci)
+		}
+	}
+	g.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	for _, ci := range candidates[:n] {
+		g.pick(set, table, t.Columns[ci].Name)
+	}
+}
+
+func isMeasure(c Column) bool { return c.Bytes == 8 && !c.PK }
+func isAttr(c Column) bool    { return !c.PK }
+
+// fact channel descriptors: the fact table, its foreign keys to common
+// dimensions, and channel-specific dimensions.
+type channel struct {
+	fact     string
+	dateFK   string
+	itemFK   string
+	custFK   string
+	extraDim string // channel-specific dimension table
+	extraFK  string
+}
+
+var channels = []struct {
+	ch     channel
+	weight int
+}{
+	{channel{"store_sales", "ss_sold_date_sk", "ss_item_sk", "ss_customer_sk", "store", "ss_store_sk"}, 30},
+	{channel{"catalog_sales", "cs_sold_date_sk", "cs_item_sk", "cs_bill_customer_sk", "call_center", "cs_call_center_sk"}, 20},
+	{channel{"web_sales", "ws_sold_date_sk", "ws_item_sk", "ws_bill_customer_sk", "web_site", "ws_web_site_sk"}, 15},
+	{channel{"store_returns", "sr_returned_date_sk", "sr_item_sk", "sr_customer_sk", "store", "sr_store_sk"}, 8},
+	{channel{"catalog_returns", "cr_returned_date_sk", "cr_item_sk", "cr_returning_customer_sk", "call_center", "cr_call_center_sk"}, 6},
+	{channel{"web_returns", "wr_returned_date_sk", "wr_item_sk", "wr_returning_customer_sk", "web_page", "wr_web_page_sk"}, 5},
+	{channel{"inventory", "inv_date_sk", "inv_item_sk", "", "warehouse", "inv_warehouse_sk"}, 4},
+}
+
+func (g *queryGen) pickChannel() channel {
+	total := 0
+	for _, c := range channels {
+		total += c.weight
+	}
+	r := g.rng.Intn(total)
+	for _, c := range channels {
+		if r < c.weight {
+			return c.ch
+		}
+		r -= c.weight
+	}
+	return channels[0].ch
+}
+
+// query synthesizes one star-join query footprint with a heavy-tailed cost.
+func (g *queryGen) query(id int, name string) model.Query {
+	set := make(map[int]bool)
+	var rowsTouched float64
+	joins := 0
+
+	addFact := func(ch channel) {
+		fact := g.table(ch.fact)
+		rowsTouched += float64(fact.Rows)
+		// Join keys and measures on the fact side.
+		g.pick(set, ch.fact, ch.dateFK)
+		g.pickRandom(set, ch.fact, 1+g.rng.Intn(4), isMeasure)
+		if g.rng.Float64() < 0.75 {
+			g.pick(set, ch.fact, ch.itemFK)
+		}
+		if ch.custFK != "" && g.rng.Float64() < 0.45 {
+			g.pick(set, ch.fact, ch.custFK)
+		}
+	}
+
+	primary := g.pickChannel()
+	addFact(primary)
+	// Cross-channel or sales/returns combination queries (cf. templates
+	// like q17, q25, q29 joining sales with returns).
+	if g.rng.Float64() < 0.25 {
+		secondary := g.pickChannel()
+		if secondary.fact != primary.fact {
+			addFact(secondary)
+			joins++
+		}
+	}
+
+	// date_dim is nearly always involved.
+	if g.rng.Float64() < 0.92 {
+		g.pick(set, "date_dim", "d_date_sk")
+		g.pickRandom(set, "date_dim", 1+g.rng.Intn(3), isAttr)
+		joins++
+	}
+	if g.rng.Float64() < 0.55 {
+		g.pick(set, "item", "i_item_sk")
+		g.pickRandom(set, "item", 1+g.rng.Intn(3), isAttr)
+		joins++
+	}
+	if primary.custFK != "" && g.rng.Float64() < 0.35 {
+		g.pick(set, "customer", "c_customer_sk")
+		g.pickRandom(set, "customer", 1+g.rng.Intn(3), isAttr)
+		joins++
+		if g.rng.Float64() < 0.5 {
+			g.pick(set, "customer", "c_current_addr_sk")
+			g.pick(set, "customer_address", "ca_address_sk")
+			g.pickRandom(set, "customer_address", 1+g.rng.Intn(2), isAttr)
+			joins++
+		}
+	}
+	if g.rng.Float64() < 0.2 {
+		g.pick(set, "customer_demographics", "cd_demo_sk")
+		g.pickRandom(set, "customer_demographics", 1+g.rng.Intn(2), isAttr)
+		rowsTouched += float64(g.table("customer_demographics").Rows) * 0.2
+		joins++
+	}
+	if g.rng.Float64() < 0.12 {
+		g.pick(set, "household_demographics", "hd_demo_sk")
+		g.pickRandom(set, "household_demographics", 1, isAttr)
+		joins++
+	}
+	if g.rng.Float64() < 0.5 {
+		g.pick(set, primary.extraDim, g.table(primary.extraDim).Columns[0].Name)
+		g.pick(set, primary.fact, primary.extraFK)
+		g.pickRandom(set, primary.extraDim, 1+g.rng.Intn(3), isAttr)
+		joins++
+	}
+	if g.rng.Float64() < 0.1 {
+		g.pick(set, "promotion", "p_promo_sk")
+		g.pickRandom(set, "promotion", 1, isAttr)
+		joins++
+	}
+	if g.rng.Float64() < 0.08 {
+		g.pick(set, "time_dim", "t_time_sk")
+		g.pickRandom(set, "time_dim", 1, isAttr)
+		joins++
+	}
+
+	var frags []int
+	for f := range set {
+		frags = append(frags, f)
+	}
+
+	// Cost model: time grows with the touched fact volume and join count,
+	// with a lognormal factor for plan quality variance. The resulting
+	// distribution is heavy-tailed like the paper's measured times (Fig 1a).
+	lognormal := math.Exp(g.rng.NormFloat64() * 1.4)
+	cost := rowsTouched / 1e6 * (1 + 0.35*float64(joins)) * lognormal
+	if cost < 0.001 {
+		cost = 0.001
+	}
+
+	return model.Query{ID: id, Name: name, Fragments: frags, Cost: cost, Frequency: 1}
+}
