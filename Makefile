@@ -1,0 +1,29 @@
+# Developer verification targets. `make check` is the tier-1+ gate
+# referenced by ROADMAP.md: formatting, vet, build, and the full test
+# suite under the race detector (the parallel decomposition driver makes
+# race-cleanliness part of the contract).
+
+GO ?= go
+
+.PHONY: check fmt-check vet build test race bench
+
+check: fmt-check vet build race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run NONE .

@@ -71,6 +71,29 @@ func BenchmarkFig2(b *testing.B) {
 	}
 }
 
+// Parallel-driver benchmarks: the same decomposed TPC-DS K=8 solve with
+// the worker pool off (Parallelism 1) and sized to the machine
+// (Parallelism 0 = GOMAXPROCS). Node budgets, not wall-clock, bound the
+// work, so both run the identical search and the ratio is pure scheduling
+// speedup (1x on a single-core machine, approaching the group count on
+// wider ones).
+func benchAllocateK8(b *testing.B, parallelism int) {
+	w := fragalloc.TPCDSWorkload()
+	for i := 0; i < b.N; i++ {
+		_, err := fragalloc.Allocate(w, nil, 8, fragalloc.Options{
+			Chunks:      fragalloc.MustParseChunks("4+4"),
+			Parallelism: parallelism,
+			MIP:         mip.Options{MaxNodes: 150},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocateK8Serial(b *testing.B)   { benchAllocateK8(b, 1) }
+func BenchmarkAllocateK8Parallel(b *testing.B) { benchAllocateK8(b, 0) }
+
 // Ablation benchmarks: quantify the contribution of each MIP-solve
 // refinement (DESIGN.md §3.2b) on the exact TPC-DS K=4 solve. Each
 // iteration reports the achieved replication factor as the "W/V" metric —

@@ -40,6 +40,7 @@ func main() {
 	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
 	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem (lp)")
+	parallel := flag.Int("parallel", 0, "concurrent subproblem solves for lp (0 = GOMAXPROCS, 1 = serial)")
 	out := flag.String("o", "", "output file (default stdout)")
 	exportLP := flag.String("export-lp", "", "write the exact MIP in CPLEX LP format to this file and exit")
 	verbose := flag.Bool("v", false, "progress logging to stderr")
@@ -73,7 +74,7 @@ func main() {
 	start := time.Now()
 	switch *approach {
 	case "lp":
-		opt := fragalloc.Options{FixedQueries: *fixed, MIP: mip.Options{TimeLimit: *budget, MaxStallNodes: 300}}
+		opt := fragalloc.Options{FixedQueries: *fixed, Parallelism: *parallel, MIP: mip.Options{TimeLimit: *budget, MaxStallNodes: 300}}
 		if *chunks != "" {
 			spec, err := fragalloc.ParseChunks(*chunks)
 			if err != nil {

@@ -14,6 +14,7 @@
 //	-unseen 30                   number of out-of-sample scenarios S̃
 //	-maxq 300                    accounting truncation for Table 1b's LP rows
 //	-seed 1                      scenario sampling seed
+//	-parallel 0                  concurrent table rows (0 = GOMAXPROCS, 1 = serial)
 //	-per-scenario                with fig2: also print the Figure 2b series
 //	-v                           verbose solver progress
 //
@@ -37,6 +38,7 @@ func main() {
 	unseen := flag.Int("unseen", 30, "number of out-of-sample scenarios")
 	maxq := flag.Int("maxq", 300, "accounting workload truncation for Table 1b LP rows")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
+	parallel := flag.Int("parallel", 0, "concurrent table rows (0 = GOMAXPROCS, 1 = serial)")
 	perScenario := flag.Bool("per-scenario", false, "fig2: print the per-scenario series (Figure 2b)")
 	verbose := flag.Bool("v", false, "verbose solver progress")
 	flag.Usage = func() {
@@ -56,6 +58,7 @@ func main() {
 		OutOfSample: *unseen,
 		MaxQ:        *maxq,
 		Seed:        *seed,
+		Parallelism: *parallel,
 		Out:         os.Stdout,
 		Verbose:     *verbose,
 	}

@@ -71,7 +71,8 @@ type (
 // Allocation computation (the paper's approach).
 type (
 	// Options configure Allocate: chunked decomposition, partial
-	// clustering, the α balance penalty, and MIP budgets.
+	// clustering, the α balance penalty, MIP budgets, and the worker-pool
+	// width (Parallelism) for concurrent subproblem solves.
 	Options = core.Options
 	// Result is an allocation plus solve statistics (W/V, gaps, time).
 	Result = core.Result

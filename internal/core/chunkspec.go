@@ -49,6 +49,20 @@ func Split(children ...*ChunkSpec) *ChunkSpec {
 	return s
 }
 
+// Groups counts the exact-solve groups (leaf specs) of the decomposition —
+// the number of independent subproblem chains the parallel driver can
+// ultimately fan out to.
+func (s *ChunkSpec) Groups() int {
+	if len(s.Children) == 0 {
+		return 1
+	}
+	n := 0
+	for _, c := range s.Children {
+		n += c.Groups()
+	}
+	return n
+}
+
 // Validate checks leaf counts are positive and consistent.
 func (s *ChunkSpec) Validate() error {
 	if s == nil {

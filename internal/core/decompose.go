@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"fragalloc/internal/greedy"
@@ -25,6 +26,14 @@ type Options struct {
 	// by the partial clustering constraints (9) (Section 3.2). 0 disables
 	// clustering.
 	FixedQueries int
+	// Parallelism bounds the number of concurrently solved subproblems:
+	// sibling decomposition chunks and the hint pre-solves of a group run
+	// on a shared worker pool of this size. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces the serial driver. The allocation and shares are identical
+	// for every value — concurrency changes scheduling, never arithmetic —
+	// though solves under a wall-clock TimeLimit remain timing-dependent,
+	// exactly as they already are serially.
+	Parallelism int
 	// MIP passes budgets (time limit, node limit, gap) to each subproblem
 	// solve. A TimeLimit applies per subproblem.
 	MIP mip.Options
@@ -151,7 +160,12 @@ func Allocate(w *model.Workload, ss *model.ScenarioSet, k int, opt Options) (*Re
 			alloc.Shares[s][j] = make([]float64, k)
 		}
 	}
-	d := &driver{w: w, ss: ss, opt: opt, alloc: alloc, exact: true}
+	d := &driver{
+		w: w, ss: ss, opt: opt, alloc: alloc, exact: true,
+		gate: newGate(opt.Parallelism), logMu: &sync.Mutex{},
+	}
+	d.logf("core: allocating K=%d with spec %v (%d exact groups, parallelism %d)",
+		k, spec, spec.Groups(), d.gate.width())
 	if err := d.solve(root, spec, 0); err != nil {
 		return nil, err
 	}
@@ -228,11 +242,22 @@ func splitFixed(w *model.Workload, ss *model.ScenarioSet, active []int, f, k int
 }
 
 // driver carries the recursion state of the decomposition.
+//
+// Concurrency model (see DESIGN.md §3.5): sibling chunk subproblems write
+// into disjoint leaf ranges of the shared allocation, so those writes need
+// no lock; the scalar solve statistics are merged under mu; Logf calls are
+// serialized by logMu; and the gate bounds how many subproblem solves run
+// at once. Every simplex/MIP solver is constructed and used by exactly one
+// goroutine.
 type driver struct {
-	w       *model.Workload
-	ss      *model.ScenarioSet
-	opt     Options
-	alloc   *model.Allocation
+	w     *model.Workload
+	ss    *model.ScenarioSet
+	opt   Options
+	alloc *model.Allocation
+	gate  *gate       // bounds concurrent solver work; shared with scratch drivers
+	logMu *sync.Mutex // serializes opt.Logf across goroutines
+
+	mu      sync.Mutex // guards the solve statistics below
 	maxLoad float64
 	maxGap  float64
 	nodes   int
@@ -240,9 +265,23 @@ type driver struct {
 }
 
 func (d *driver) logf(format string, args ...any) {
-	if d.opt.Logf != nil {
-		d.opt.Logf(format, args...)
+	if d.opt.Logf == nil {
+		return
 	}
+	d.logMu.Lock()
+	defer d.logMu.Unlock()
+	d.opt.Logf(format, args...)
+}
+
+// recordSolution merges one subproblem's solve statistics; every merge
+// operation is commutative, so the aggregate is schedule-independent.
+func (d *driver) recordSolution(sol *solution) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes += sol.nodes
+	d.maxGap = math.Max(d.maxGap, sol.gap)
+	d.maxLoad = math.Max(d.maxLoad, sol.l)
+	d.exact = d.exact && sol.exact
 }
 
 // solve recursively processes a subproblem according to spec, assigning the
@@ -271,34 +310,44 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 	}
 	sp.weights = weights
 
-	// For exact groups with B >= 4, a hierarchical pre-solve (recursive
-	// two-way decomposition of the same subproblem) supplies a high-quality
-	// starting placement, guaranteeing the exact solve starts at least as
-	// good as its own decomposition (cf. Table 1 of the paper, where the
-	// exact rows dominate the chunked ones).
-	var hint map[int][]bool
+	// Pre-solve hints. For exact groups with B >= 3, a hierarchical
+	// pre-solve (recursive two-way decomposition of the same subproblem)
+	// supplies a high-quality starting placement, guaranteeing the exact
+	// solve starts at least as good as its own decomposition (cf. Table 1
+	// of the paper, where the exact rows dominate the chunked ones). A flat
+	// root solve over the full node set is additionally seeded with the
+	// greedy baseline (merged over scenarios), so the LP-based allocation
+	// provably starts no worse than greedy. The two hints are independent
+	// reads of sp, so they run concurrently with each other.
+	var hint, greedyHint map[int][]bool
+	var hintTasks []func() error
 	if len(spec.Children) == 0 && b >= 3 && !d.opt.Ablation.NoHints {
-		hint = d.hierarchicalHint(sp, b)
+		hintTasks = append(hintTasks, func() error {
+			hint = d.hierarchicalHint(sp, b)
+			return nil
+		})
 	}
-	var greedyHint map[int][]bool
 	if len(spec.Children) == 0 && leaf == 0 && spec.Leaves == d.alloc.K && !d.opt.Ablation.NoHints {
-		// Exact solve over the full node set: also seed with the greedy
-		// baseline (merged over scenarios), so the LP-based allocation
-		// provably starts no worse than greedy — the relation Table 1 of
-		// the paper establishes.
-		greedyHint = d.greedyHint(sp, b)
+		hintTasks = append(hintTasks, func() error {
+			greedyHint = d.greedyHint(sp, b)
+			return nil
+		})
+	}
+	if len(hintTasks) > 0 {
+		if err := d.gate.run(hintTasks...); err != nil {
+			return err
+		}
 	}
 
 	d.logf("core: solving split %v (B=%d, %d flexible queries, %d fragments) for leaves %d..%d",
 		spec, b, len(sp.flexQ), countTrue(sp.activeFrag), leaf, leaf+spec.Leaves-1)
+	d.gate.acquire()
 	sol, err := sp.solve(d.opt.MIP, hint, greedyHint)
+	d.gate.release()
 	if err != nil {
 		return err
 	}
-	d.nodes += sol.nodes
-	d.maxGap = math.Max(d.maxGap, sol.gap)
-	d.maxLoad = math.Max(d.maxLoad, sol.l)
-	d.exact = d.exact && sol.exact
+	d.recordSolution(sol)
 	d.logf("core: split %v solved: L=%.4f gap=%.4f nodes=%d", spec, sol.l, sol.gap, sol.nodes)
 
 	if len(spec.Children) == 0 {
@@ -318,23 +367,35 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 		return nil
 	}
 
-	// Inner split: derive one child subproblem per subnode and recurse.
+	// Inner split: derive one child subproblem per subnode — all of them
+	// before any recursion, so the children depend only on this level's
+	// solution — and recurse into the independent siblings concurrently.
+	// Each child owns the disjoint leaf range [leaves[bb],
+	// leaves[bb]+cs.Leaves), so their allocation writes never overlap.
+	subs := make([]*subproblem, len(spec.Children))
+	leaves := make([]int, len(spec.Children))
 	child := leaf
 	for bb, cs := range spec.Children {
-		sub := d.childSubproblem(sp, sol, bb)
-		if err := d.solve(sub, cs, child); err != nil {
-			return err
-		}
+		subs[bb] = d.childSubproblem(sp, sol, bb)
+		leaves[bb] = child
 		child += cs.Leaves
 	}
-	return nil
+	tasks := make([]func() error, len(spec.Children))
+	for bb, cs := range spec.Children {
+		bb, cs := bb, cs
+		tasks[bb] = func() error { return d.solve(subs[bb], cs, leaves[bb]) }
+	}
+	return d.gate.run(tasks...)
 }
 
 // greedyHint computes the greedy baseline allocation (merged over the
 // scenario set) and converts it into a starting placement for a flat exact
-// solve over all K nodes.
+// solve over all K nodes. The baseline computation counts against the
+// driver's worker pool like any other solver task.
 func (d *driver) greedyHint(sp *subproblem, n int) map[int][]bool {
+	d.gate.acquire()
 	alloc, err := greedy.AllocateScenarios(d.w, d.ss, n)
+	d.gate.release()
 	if err != nil {
 		return nil
 	}
@@ -356,7 +417,13 @@ func (d *driver) greedyHint(sp *subproblem, n int) map[int][]bool {
 func (d *driver) hierarchicalHint(sp *subproblem, n int) map[int][]bool {
 	half := n / 2
 	spec := Split(Flat(half), Flat(n-half))
-	scratch := &driver{w: d.w, ss: d.ss, opt: d.opt, alloc: model.NewAllocation(d.alloc.K), exact: true}
+	// The scratch driver gets its own allocation and statistics but shares
+	// the parent's worker pool and log serialization, so pre-solves cannot
+	// oversubscribe the CPU budget or interleave log lines.
+	scratch := &driver{
+		w: d.w, ss: d.ss, opt: d.opt, alloc: model.NewAllocation(d.alloc.K), exact: true,
+		gate: d.gate, logMu: d.logMu,
+	}
 	scratch.alloc.Shares = make([][][]float64, d.ss.S())
 	for s := range scratch.alloc.Shares {
 		scratch.alloc.Shares[s] = make([][]float64, len(d.w.Queries))
@@ -364,8 +431,10 @@ func (d *driver) hierarchicalHint(sp *subproblem, n int) map[int][]bool {
 			scratch.alloc.Shares[s][j] = make([]float64, d.alloc.K)
 		}
 	}
-	spc := *sp // driver.solve mutates only the weights field
-	if err := scratch.solve(&spc, spec, 0); err != nil {
+	// Deep-copy the fields driver.solve mutates: the pre-solve may run
+	// concurrently with other readers of sp, and a shallow struct copy
+	// would share the mutated slice headers' underlying arrays.
+	if err := scratch.solve(sp.clone(), spec, 0); err != nil {
 		d.logf("core: hierarchical pre-solve failed: %v", err)
 		return nil
 	}

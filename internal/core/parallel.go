@@ -1,0 +1,64 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gate bounds the number of concurrently running CPU-heavy solver tasks
+// (subproblem MIP solves, hint pre-solves, greedy baselines) across the
+// whole decomposition, including the scratch drivers of hierarchical
+// pre-solves, which share their parent's gate.
+//
+// The discipline that makes nesting deadlock-free: a token is held only
+// while computing, never while spawning or waiting on other goroutines.
+// driver.solve acquires around the subproblem solve, releases, and only
+// then fans out to children.
+type gate struct {
+	ch chan struct{}
+}
+
+// newGate sizes the token pool: n <= 0 means runtime.GOMAXPROCS(0).
+func newGate(n int) *gate {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &gate{ch: make(chan struct{}, n)}
+}
+
+func (g *gate) acquire() { g.ch <- struct{}{} }
+func (g *gate) release() { <-g.ch }
+
+// width is the maximum number of concurrently held tokens.
+func (g *gate) width() int { return cap(g.ch) }
+
+// run executes independent tasks and returns the first error in task order
+// (deterministic regardless of completion order). With a single task or a
+// serial gate it runs inline on the caller's goroutine, so Parallelism: 1
+// reproduces the pre-parallel driver exactly — same stack, no goroutines.
+func (g *gate) run(tasks ...func() error) error {
+	if len(tasks) == 1 || g.width() == 1 {
+		for _, task := range tasks {
+			if err := task(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		wg.Add(1)
+		go func(i int, task func() error) {
+			defer wg.Done()
+			errs[i] = task()
+		}(i, task)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

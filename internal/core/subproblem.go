@@ -13,6 +13,13 @@ import (
 // subproblem is one instance of the LP/MIP (3)–(7) of the paper: distribute
 // the inherited workload shares of the active queries over B subnodes so
 // that every scenario balances, minimizing the allocated data.
+//
+// Ownership: a subproblem is built by one driver.solve call and solved on
+// one goroutine; its solve constructs private simplex/MIP solvers (which
+// copy the problem), so concurrent solves of distinct subproblems share
+// nothing mutable. The workload, scenario set, costs, and inherited shares
+// are shared read-only across subproblems; the only field driver.solve
+// mutates after construction is weights (see clone).
 type subproblem struct {
 	w     *model.Workload
 	ss    *model.ScenarioSet
@@ -28,6 +35,16 @@ type subproblem struct {
 	weights    []float64   // w_b = (leaves of subnode b)/K
 	hasFixed   bool        // subnode 0 contains global leaf 0
 	ablation   Ablation    // disabled refinements (benchmarking only)
+}
+
+// clone returns a copy of sp that is safe to solve concurrently with uses
+// of the original: the weights slice — the one field driver.solve mutates —
+// is deep-copied, while the read-only inputs (workload, scenario set,
+// costs, shares, query lists, fragment mask) stay shared.
+func (sp *subproblem) clone() *subproblem {
+	cp := *sp
+	cp.weights = append([]float64(nil), sp.weights...)
+	return &cp
 }
 
 // indices maps model entities to LP variable columns.

@@ -37,7 +37,21 @@ func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
 	p := &simplex.Problem{}
 	tr := &trimmer{sp: sp, ix: ix, zcol: make(map[[2]int][]int, len(ix.z))}
 	tr.lcol = p.AddVar(0, math.Inf(1), 1)
+	// Lay the z columns out in sorted key order: iterating the map here
+	// would make the LP's variable order — and with it the vertex the
+	// simplex picks among degenerate optima — differ between runs, leaking
+	// nondeterminism into which trims get certified.
+	keys := make([][2]int, 0, len(ix.z))
 	for key := range ix.z {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
 		j, s := key[0], key[1]
 		cols := make([]int, ix.b)
 		for bb := 0; bb < ix.b; bb++ {
@@ -45,12 +59,15 @@ func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
 		}
 		tr.zcol[key] = cols
 	}
-	// (6) balance per (subnode, scenario).
+	// (6) balance per (subnode, scenario). Rows walk the same sorted key
+	// order as the columns: both the row sequence and the coefficient order
+	// within a row steer pivot tie-breaks, so map iteration here would
+	// reintroduce the run-to-run drift the sort above removes.
 	for bb := 0; bb < ix.b; bb++ {
 		for s := 0; s < sp.ss.S(); s++ {
 			var idx []int
 			var coef []float64
-			for key, cols := range tr.zcol {
+			for _, key := range keys {
 				j := key[0]
 				if key[1] != s {
 					continue
@@ -59,7 +76,7 @@ func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
 				if c == 0 {
 					continue
 				}
-				idx = append(idx, cols[bb])
+				idx = append(idx, tr.zcol[key][bb])
 				coef = append(coef, c)
 			}
 			rhs := 0.0
@@ -72,8 +89,9 @@ func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
 		}
 	}
 	// (7) conservation per (query, scenario).
-	for key, cols := range tr.zcol {
+	for _, key := range keys {
 		j, s := key[0], key[1]
+		cols := tr.zcol[key]
 		coef := make([]float64, len(cols))
 		for t := range coef {
 			coef[t] = 1

@@ -16,7 +16,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -49,6 +51,11 @@ type Config struct {
 	// Seed drives scenario sampling (default 1). Workload generators use
 	// their own canonical seeds.
 	Seed int64
+	// Parallelism bounds how many table rows are computed concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Rows always render in order. When the
+	// rows fan out, each row's Allocate runs its decomposition serially so
+	// the total number of concurrent solves stays at this bound.
+	Parallelism int
 	// Out receives the rendered tables (required).
 	Out io.Writer
 	// Verbose enables solver progress logging to Out.
@@ -123,9 +130,66 @@ func (c Config) coreLogf() func(string, ...any) {
 	if !c.Verbose {
 		return nil
 	}
+	var mu sync.Mutex
 	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
 		fmt.Fprintf(c.Out, "  # "+format+"\n", args...)
 	}
+}
+
+// rowPool returns the effective worker count for n table rows and the
+// Parallelism each row's inner Allocate should use: the decompositions run
+// serially whenever the rows themselves fan out, so the configured bound
+// caps the total number of concurrent solves either way.
+func (c Config) rowPool(n int) (rowPar, innerPar int) {
+	rowPar = c.Parallelism
+	if rowPar <= 0 {
+		rowPar = runtime.GOMAXPROCS(0)
+	}
+	if rowPar > n {
+		rowPar = n
+	}
+	innerPar = 1
+	if rowPar <= 1 {
+		rowPar = 1
+		innerPar = c.Parallelism
+	}
+	return rowPar, innerPar
+}
+
+// runRows computes n table rows through a bounded worker pool, collecting
+// one error per row and returning the first in row order. The caller
+// renders the collected results sequentially afterwards, so the printed
+// tables are identical at every parallelism level.
+func runRows(rowPar, n int, work func(i int) error) error {
+	if rowPar <= 1 {
+		for i := 0; i < n; i++ {
+			if err := work(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, rowPar)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = work(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // newTable returns a tabwriter for aligned output.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -115,5 +116,54 @@ func TestTruncate(t *testing.T) {
 	// Truncating beyond Q is the identity.
 	if truncate(w, 1<<30) != w {
 		t.Error("truncate with huge maxQ should return the input")
+	}
+}
+
+func TestRunRows(t *testing.T) {
+	// Results land at their own index whatever the completion order, and
+	// the first error in row order wins.
+	got := make([]int, 16)
+	err := runRows(4, len(got), func(i int) error {
+		got[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("row %d computed %d, want %d", i, v, i*i)
+		}
+	}
+	err = runRows(4, 8, func(i int) error {
+		if i == 2 || i == 6 {
+			return fmt.Errorf("row %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "row 2 failed" {
+		t.Fatalf("want first error in row order, got %v", err)
+	}
+}
+
+func TestRowPool(t *testing.T) {
+	cases := []struct {
+		cfg      int // Config.Parallelism
+		rows     int
+		wantRow  int
+		wantCore int // inner core.Options.Parallelism
+	}{
+		{1, 10, 1, 1}, // serial rows keep the configured (serial) solves
+		{4, 10, 4, 1}, // fanned-out rows solve serially inside
+		{4, 1, 1, 4},  // a single row gets the whole width
+		{8, 3, 3, 1},  // never more workers than rows
+		{0, 1, 1, 0},  // GOMAXPROCS default passes through to the solve
+	}
+	for _, c := range cases {
+		rowPar, innerPar := Config{Parallelism: c.cfg}.rowPool(c.rows)
+		if rowPar != c.wantRow || innerPar != c.wantCore {
+			t.Errorf("rowPool(Parallelism=%d, rows=%d) = (%d, %d), want (%d, %d)",
+				c.cfg, c.rows, rowPar, innerPar, c.wantRow, c.wantCore)
+		}
 	}
 }

@@ -44,27 +44,38 @@ func Fig2(cfg Config, perScenario bool) error {
 	t := newTable(cfg.Out)
 	fmt.Fprintln(t, "approach\tS\tW/V\tE((1/K)/L~)\tnote")
 
-	var oursAlloc10, merge2 *model.Allocation
-	for _, s := range oursS {
+	// One indexed pool over both series: ours rows first, merge rows after,
+	// rendered in that order whatever the completion order.
+	n := len(oursS) + len(mergeS)
+	rowPar, innerPar := cfg.rowPool(n)
+	logf := cfg.coreLogf()
+	lines := make([]string, n)
+	allocs := make([]*model.Allocation, n)
+	err = runRows(rowPar, n, func(i int) error {
+		ours := i < len(oursS)
+		s := 0
+		if ours {
+			s = oursS[i]
+		} else {
+			s = mergeS[i-len(oursS)]
+		}
 		seen := scenario.InSample(w, s, scenario.DefaultP, cfg.Seed)
-		res, err := core.Allocate(w, seen, table3K, core.Options{
-			Chunks: spec, FixedQueries: 47, MIP: cfg.mipOptions(), Logf: cfg.coreLogf(),
-		})
-		if err != nil {
-			return fmt.Errorf("fig2 ours S=%d: %w", s, err)
+		if ours {
+			res, err := core.Allocate(w, seen, table3K, core.Options{
+				Chunks: spec, FixedQueries: 47, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
+			})
+			if err != nil {
+				return fmt.Errorf("fig2 ours S=%d: %w", s, err)
+			}
+			m, err := eval.Evaluate(w, res.Allocation, unseen)
+			if err != nil {
+				return err
+			}
+			lines[i] = fmt.Sprintf("partial clustering (F=47)\t%d\t%.3f\t%.3f\t%s\n",
+				s, res.ReplicationFactor, m.MeanThroughput, gapMark(res))
+			allocs[i] = res.Allocation
+			return nil
 		}
-		m, err := eval.Evaluate(w, res.Allocation, unseen)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(t, "partial clustering (F=47)\t%d\t%.3f\t%.3f\t%s\n",
-			s, res.ReplicationFactor, m.MeanThroughput, gapMark(res))
-		if s == 10 {
-			oursAlloc10 = res.Allocation
-		}
-	}
-	for _, s := range mergeS {
-		seen := scenario.InSample(w, s, scenario.DefaultP, cfg.Seed)
 		alloc, err := greedy.AllocateScenarios(w, seen, table3K)
 		if err != nil {
 			return err
@@ -74,10 +85,26 @@ func Fig2(cfg Config, perScenario bool) error {
 			return err
 		}
 		repl := alloc.TotalData(w) / w.AccessedDataSize(seen.Frequencies...)
-		fmt.Fprintf(t, "greedy merge\t%d\t%.3f\t%.3f\t\n", s, repl, m.MeanThroughput)
-		if s == 2 {
-			merge2 = alloc
+		lines[i] = fmt.Sprintf("greedy merge\t%d\t%.3f\t%.3f\t\n", s, repl, m.MeanThroughput)
+		allocs[i] = alloc
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var oursAlloc10, merge2 *model.Allocation
+	for i, s := range oursS {
+		if s == 10 {
+			oursAlloc10 = allocs[i]
 		}
+	}
+	for i, s := range mergeS {
+		if s == 2 {
+			merge2 = allocs[len(oursS)+i]
+		}
+	}
+	for _, line := range lines {
+		fmt.Fprint(t, line)
 	}
 	// Full replication balances every scenario perfectly at W/V = K.
 	fmt.Fprintf(t, "full replication\t/\t%.3f\t%.3f\t\n", float64(table3K), 1.0)

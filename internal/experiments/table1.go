@@ -73,13 +73,17 @@ func Table1(cfg Config) error {
 		w.Name, w.NumFragments(), w.NumQueries(), cfg.Budget)
 	t := newTable(cfg.Out)
 	fmt.Fprintln(t, "K\tchunks\tW^D/V\tsolve time_W^D\tW^G/W^D\tsolve time_W^G\tnote")
-	for _, row := range rows {
+	rowPar, innerPar := cfg.rowPool(len(rows))
+	logf := cfg.coreLogf() // one logger: its mutex serializes rows' output
+	lines := make([]string, len(rows))
+	err = runRows(rowPar, len(rows), func(i int) error {
+		row := rows[i]
 		spec, err := core.ParseChunks(row.chunks)
 		if err != nil {
 			return err
 		}
 		res, err := core.Allocate(w, ss, row.k, core.Options{
-			Chunks: spec, MIP: cfg.mipOptions(), Logf: cfg.coreLogf(),
+			Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
 		})
 		if err != nil {
 			return fmt.Errorf("table1 K=%d chunks=%s: %w", row.k, row.chunks, err)
@@ -98,10 +102,17 @@ func Table1(cfg Config) error {
 		if len(spec.Children) == 0 {
 			star = "*" // no decomposition: the (budgeted) exact solve
 		}
-		fmt.Fprintf(t, "%d\t%s%s\t%.3f\t%s\t%+.0f%%\t%s\t%s\n",
+		lines[i] = fmt.Sprintf("%d\t%s%s\t%.3f\t%s\t%+.0f%%\t%s\t%s\n",
 			row.k, row.chunks, star,
 			res.ReplicationFactor, fmtDur(res.SolveTime),
 			(gw/res.W-1)*100, fmtDur(gTime), note)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		fmt.Fprint(t, line)
 	}
 	t.Flush()
 	fmt.Fprintln(cfg.Out)

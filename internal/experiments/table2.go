@@ -74,13 +74,17 @@ func Table2(cfg Config) error {
 		w.Name, w.NumFragments(), w.NumQueries(), cfg.Budget)
 	t := newTable(cfg.Out)
 	fmt.Fprintln(t, "K\tF\tchunks\tW/V\tsolve time_W\tW/W^D\tW/W^G\tnote")
-	for _, row := range rows {
+	rowPar, innerPar := cfg.rowPool(len(rows))
+	logf := cfg.coreLogf()
+	lines := make([]string, len(rows))
+	err = runRows(rowPar, len(rows), func(i int) error {
+		row := rows[i]
 		spec, err := core.ParseChunks(row.chunks)
 		if err != nil {
 			return err
 		}
 		res, err := core.Allocate(w, ss, row.k, core.Options{
-			Chunks: spec, FixedQueries: row.f, MIP: cfg.mipOptions(), Logf: cfg.coreLogf(),
+			Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
 		})
 		if err != nil {
 			return fmt.Errorf("table2 K=%d F=%d: %w", row.k, row.f, err)
@@ -90,7 +94,7 @@ func Table2(cfg Config) error {
 		note := gapMark(res)
 		if withWD {
 			dres, err := core.Allocate(w, ss, row.k, core.Options{
-				Chunks: spec, MIP: cfg.mipOptions(), Logf: cfg.coreLogf(),
+				Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
 			})
 			if err != nil {
 				return err
@@ -107,10 +111,17 @@ func Table2(cfg Config) error {
 		}
 		gw := gAlloc.TotalData(w)
 
-		fmt.Fprintf(t, "%d\t%d\t%s\t%.3f\t%s\t%s\t%+.1f%%\t%s\n",
+		lines[i] = fmt.Sprintf("%d\t%d\t%s\t%.3f\t%s\t%s\t%+.1f%%\t%s\n",
 			row.k, row.f, row.chunks,
 			res.ReplicationFactor, fmtDur(res.SolveTime),
 			wd, (res.W/gw-1)*100, note)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		fmt.Fprint(t, line)
 	}
 	t.Flush()
 	fmt.Fprintln(cfg.Out)

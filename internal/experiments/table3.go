@@ -83,7 +83,11 @@ func Table3(cfg Config) error {
 		w.Name, cfg.OutOfSample, table3K, table3Chunks, scenario.DefaultP, cfg.Budget)
 	t := newTable(cfg.Out)
 	fmt.Fprintln(t, "approach\tS\tF\tW/V\tsolve time\tE(L~)-1/K\tE((1/K)/L~)\tnote")
-	for _, row := range rows {
+	rowPar, innerPar := cfg.rowPool(len(rows))
+	logf := cfg.coreLogf()
+	lines := make([]string, len(rows))
+	err = runRows(rowPar, len(rows), func(i int) error {
+		row := rows[i]
 		seen := scenario.InSample(w, row.s, scenario.DefaultP, cfg.Seed)
 		var (
 			alloc     *model.Allocation
@@ -95,7 +99,7 @@ func Table3(cfg Config) error {
 		)
 		if row.f >= 0 {
 			res, err := core.Allocate(w, seen, table3K, core.Options{
-				Chunks: spec, FixedQueries: row.f, MIP: cfg.mipOptions(), Logf: cfg.coreLogf(),
+				Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
 			})
 			if err != nil {
 				return fmt.Errorf("table3 S=%d F=%d: %w", row.s, row.f, err)
@@ -118,8 +122,15 @@ func Table3(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(t, "%s\t%d\t%s\t%.3f\t%s\t%.4f\t%.3f\t%s\n",
+		lines[i] = fmt.Sprintf("%s\t%d\t%s\t%.3f\t%s\t%.4f\t%.3f\t%s\n",
 			label, row.s, fCol, repl, fmtDur(solveTime), m.MeanGap, m.MeanThroughput, note)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		fmt.Fprint(t, line)
 	}
 	t.Flush()
 	fmt.Fprintln(cfg.Out)

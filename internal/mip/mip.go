@@ -16,6 +16,17 @@
 //   - wall-clock and node budgets with proven-bound and gap reporting, so
 //     callers can trade solution quality for time exactly like the paper
 //     trades Gurobi time for memory quality.
+//
+// # Concurrency
+//
+// A Solve call owns every piece of mutable state it touches: the simplex
+// solvers it creates copy the Problem at construction, and the search state
+// lives on the call's stack. Concurrent Solve calls are therefore safe —
+// even on the same *simplex.Problem — provided no goroutine mutates the
+// Problem or the Options callbacks' shared state while a solve is running.
+// The parallel decomposition driver in internal/core relies on exactly this
+// contract: one solver stack per goroutine, nothing shared but read-only
+// problem data.
 package mip
 
 import (
@@ -94,11 +105,14 @@ type Options struct {
 	// MaxNodes bounds the number of nodes; 0 means 1 << 30.
 	MaxNodes int
 	// RelGap is the relative optimality gap at which the search stops
-	// (default 1e-6).
+	// (default 1e-6). Zero selects the default; pass a negative value to
+	// request an exact zero relative gap.
 	RelGap float64
 	// AbsGap is the absolute gap at which the search stops (default 1e-9).
+	// Zero selects the default; negative requests an exact zero gap.
 	AbsGap float64
-	// IntTol is the integrality tolerance (default 1e-6).
+	// IntTol is the integrality tolerance (default 1e-6). Zero selects the
+	// default; negative requests exact integrality.
 	IntTol float64
 	// Rounding, if non-nil, receives the (fractional) relaxation solution
 	// of a node and proposes values for the integer variables; the solver
@@ -134,19 +148,26 @@ func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 1 << 30
 	}
-	if o.RelGap == 0 {
-		o.RelGap = 1e-6
-	}
-	if o.AbsGap == 0 {
-		o.AbsGap = 1e-9
-	}
-	if o.IntTol == 0 {
-		o.IntTol = 1e-6
-	}
+	o.RelGap = defaultOrZero(o.RelGap, 1e-6)
+	o.AbsGap = defaultOrZero(o.AbsGap, 1e-9)
+	o.IntTol = defaultOrZero(o.IntTol, 1e-6)
 	if o.RoundingEvery == 0 {
 		o.RoundingEvery = 50
 	}
 	return o
+}
+
+// defaultOrZero resolves the tolerance convention of Options: zero means
+// the default, negative means an explicit zero (the zero value of a float
+// field cannot otherwise express "no tolerance").
+func defaultOrZero(v, def float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	}
+	return v
 }
 
 type fixing struct {
@@ -181,7 +202,7 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("mip: integer variable %d must have finite bounds", j)
 		}
 	}
-	s := &search{opt: opt, p: p, intVars: intVars, exact: true}
+	s := &search{opt: opt, p: p, intVars: intVars, exact: true, skippedBound: math.Inf(1)}
 	var err error
 	s.lp, err = simplex.NewSolver(p, opt.LP)
 	if err != nil {
@@ -203,7 +224,12 @@ type search struct {
 	nodes       int
 	lastImprove int // node count at the last incumbent improvement
 	exact       bool
-	deadline    time.Time
+	// skippedBound is the smallest inherited LP bound over the subtrees
+	// skipped after a node-LP failure (+Inf if none). A parent's relaxation
+	// bound remains valid for its subtree, so folding it into the global
+	// bound keeps the reported Bound honest when exact is false.
+	skippedBound float64
+	deadline     time.Time
 }
 
 func (s *search) timedOut() bool {
@@ -284,7 +310,10 @@ func (s *search) tryProposal(proposal []float64) {
 		return
 	}
 	if !s.hasInc || res.Obj < s.incObj-s.opt.AbsGap {
-		s.incumbent = res.X
+		// Copy, like accept: the heuristic solver is re-solved for later
+		// proposals, and an aliased incumbent would silently corrupt if the
+		// solver ever reused its solution buffer.
+		s.incumbent = append([]float64(nil), res.X...)
 		s.incObj = res.Obj
 		s.hasInc = true
 		s.lastImprove = s.nodes
@@ -352,12 +381,18 @@ func (s *search) run() (*Result, error) {
 	heap.Push(open, &node{bound: rootBound})
 
 	for !open.empty() {
-		globalBound := open.peekBound()
+		globalBound := math.Min(open.peekBound(), s.skippedBound)
 		if s.hasInc {
 			globalBound = math.Min(globalBound, s.incObj)
 		}
 		if s.gapClosed(globalBound) {
-			return s.result(StatusOptimal, globalBound), nil
+			if s.exact {
+				return s.result(StatusOptimal, globalBound), nil
+			}
+			// A node LP failed and its subtree was skipped: the incumbent
+			// may close the gap against the surviving bounds, but the search
+			// was not exhaustive, so claim no more than feasibility.
+			return s.result(StatusFeasible, globalBound), nil
 		}
 		stalled := s.opt.MaxStallNodes > 0 && s.hasInc && s.nodes-s.lastImprove > s.opt.MaxStallNodes
 		if s.timedOut() || s.nodes >= s.opt.MaxNodes || stalled {
@@ -373,9 +408,20 @@ func (s *search) run() (*Result, error) {
 		s.plunge(nd, open)
 	}
 	if s.hasInc {
-		return s.result(StatusOptimal, s.incObj), nil
+		if s.exact {
+			return s.result(StatusOptimal, s.incObj), nil
+		}
+		// Heap drained but a subtree was skipped after a node-LP failure:
+		// the incumbent is feasible, the bound best-effort (the skipped
+		// subtree's inherited parent bound), not proven optimal.
+		return s.result(StatusFeasible, math.Min(s.skippedBound, s.incObj)), nil
 	}
-	return s.result(StatusInfeasible, math.Inf(1)), nil
+	if s.exact {
+		return s.result(StatusInfeasible, math.Inf(1)), nil
+	}
+	// No incumbent and a skipped subtree: the skipped part may well contain
+	// feasible points, so infeasibility is not proven either.
+	return s.result(StatusNoSolution, s.skippedBound), nil
 }
 
 // plunge solves nd and then repeatedly descends into the child whose bound
@@ -395,9 +441,11 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 			return
 		}
 		if res.Status != simplex.StatusOptimal {
-			// Still failing: skip this subtree and mark the bound as no
-			// longer proven.
+			// Still failing: skip this subtree and mark the search as
+			// inexact. The subtree keeps contributing its inherited parent
+			// bound to the global bound so we never over-claim.
 			s.exact = false
+			s.skippedBound = math.Min(s.skippedBound, nd.bound)
 			s.logf("mip: node LP status %v at node %d; subtree skipped", res.Status, s.nodes)
 			return
 		}

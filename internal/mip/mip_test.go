@@ -233,6 +233,123 @@ func TestRoundingHeuristicProducesIncumbent(t *testing.T) {
 	}
 }
 
+// TestProposalIncumbentNotAliased guards against tryProposal storing the
+// heuristic solver's solution slice without copying: re-solving that solver
+// for a later proposal must not be able to mutate the stored incumbent.
+func TestProposalIncumbentNotAliased(t *testing.T) {
+	// min -2a -b s.t. a + b <= 1: proposal a=1 is optimal (obj -2),
+	// proposal b=1 is feasible but worse (obj -1) and must be rejected.
+	p := &simplex.Problem{}
+	a := p.AddVar(0, 1, -2)
+	b := p.AddVar(0, 1, -1)
+	p.AddRow([]int{a, b}, []float64{1, 1}, simplex.LE, 1)
+	s := &search{opt: Options{}.withDefaults(), p: p, intVars: []int{a, b}, exact: true, skippedBound: math.Inf(1)}
+
+	s.tryProposal([]float64{1, 0})
+	if !s.hasInc || !approx(s.incObj, -2, 1e-9) {
+		t.Fatalf("first proposal not adopted: hasInc=%v obj=%g", s.hasInc, s.incObj)
+	}
+	snap := append([]float64(nil), s.incumbent...)
+
+	// A second, worse proposal re-solves the shared heuristic solver. The
+	// incumbent must remain byte-identical to the snapshot.
+	s.tryProposal([]float64{0, 1})
+	if !approx(s.incObj, -2, 1e-9) {
+		t.Errorf("worse proposal replaced the incumbent: obj=%g", s.incObj)
+	}
+	for j := range snap {
+		if s.incumbent[j] != snap[j] {
+			t.Fatalf("incumbent[%d] changed from %g to %g after a later proposal", j, snap[j], s.incumbent[j])
+		}
+	}
+}
+
+// TestSkippedSubtreeNotOptimal forces a node-LP failure via a tiny per-LP
+// iteration budget: the root relaxation solves, but a deeper node exceeds
+// MaxIters on both the warm dual re-solve and the cold retry, so its
+// subtree is skipped. The solver must then report StatusFeasible with a
+// best-effort bound, never StatusOptimal.
+func TestSkippedSubtreeNotOptimal(t *testing.T) {
+	// Instance found by seeded search: a tight knapsack (root LP solves in
+	// a few pivots) plus a covering row that needs phase-1 work at nodes.
+	rng := rand.New(rand.NewSource(28))
+	n := 12
+	p := &simplex.Problem{}
+	var idx []int
+	for j := 0; j < n; j++ {
+		idx = append(idx, p.AddVar(0, 1, -(1+rng.Float64())))
+	}
+	wts := make([]float64, n)
+	for j := range wts {
+		wts[j] = 1 + rng.Float64()
+	}
+	p.AddRow(idx, wts, simplex.LE, 2.7)
+	var cidx []int
+	var ccoef []float64
+	for j := 0; j < n; j += 2 {
+		cidx = append(cidx, j)
+		ccoef = append(ccoef, 1)
+	}
+	p.AddRow(cidx, ccoef, simplex.GE, 1)
+
+	res, err := Solve(p, idx, Options{MaxNodes: 500, LP: simplex.Options{MaxIters: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("expected an inexact search (node LP failure); the instance no longer triggers it")
+	}
+	if res.Status == StatusOptimal {
+		t.Errorf("inexact search claimed StatusOptimal")
+	}
+	if res.Status != StatusFeasible {
+		t.Fatalf("status = %v, want feasible", res.Status)
+	}
+	if res.X == nil {
+		t.Fatal("feasible status without an incumbent")
+	}
+	if res.Bound > res.Obj+1e-9 {
+		t.Errorf("best-effort bound %g exceeds incumbent %g", res.Bound, res.Obj)
+	}
+	if res.Bound >= res.Obj-1e-9 {
+		t.Errorf("bound %g not strictly below incumbent %g: the skipped subtree's gap vanished", res.Bound, res.Obj)
+	}
+}
+
+// TestZeroGapOptions checks the negative-means-zero convention: a caller
+// can request exact zero tolerances, while the zero value keeps defaults.
+func TestZeroGapOptions(t *testing.T) {
+	d := Options{}.withDefaults()
+	if d.RelGap != 1e-6 || d.AbsGap != 1e-9 || d.IntTol != 1e-6 {
+		t.Errorf("zero-value defaults wrong: %+v", d)
+	}
+	z := Options{RelGap: -1, AbsGap: -1, IntTol: -1}.withDefaults()
+	if z.RelGap != 0 || z.AbsGap != 0 || z.IntTol != 0 {
+		t.Errorf("negative tolerances not mapped to zero: %+v", z)
+	}
+	kept := Options{RelGap: 1e-3, AbsGap: 1e-4, IntTol: 1e-5}.withDefaults()
+	if kept.RelGap != 1e-3 || kept.AbsGap != 1e-4 || kept.IntTol != 1e-5 {
+		t.Errorf("positive tolerances not kept: %+v", kept)
+	}
+
+	// A zero-gap solve must still terminate and prove optimality.
+	p := &simplex.Problem{}
+	vals := []float64{10, 13, 7, 11}
+	wts := []float64{3, 4, 2, 3}
+	var idx []int
+	for j := range vals {
+		idx = append(idx, p.AddVar(0, 1, -vals[j]))
+	}
+	p.AddRow(idx, wts, simplex.LE, 7)
+	res, err := Solve(p, idx, Options{RelGap: -1, AbsGap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal || !approx(res.Obj, -24, 1e-6) {
+		t.Errorf("zero-gap solve: status %v obj %g, want optimal -24", res.Status, res.Obj)
+	}
+}
+
 func TestTimeLimit(t *testing.T) {
 	// A larger knapsack with a nearly-degenerate LP that needs some nodes;
 	// with an absurdly small time limit we should still get a clean status.
