@@ -1,13 +1,14 @@
 # Developer verification targets. `make check` is the tier-1+ gate
-# referenced by ROADMAP.md: formatting, vet, build, and the full test
-# suite under the race detector (the parallel decomposition driver makes
+# referenced by ROADMAP.md: formatting, vet, fragvet (the repo's own
+# static analyzers, DESIGN.md §3.6), build, and the full test suite under
+# the race detector (the parallel decomposition driver makes
 # race-cleanliness part of the contract).
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench
+.PHONY: check fmt-check vet fragvet build test race bench
 
-check: fmt-check vet build race
+check: fmt-check vet fragvet build race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -15,6 +16,9 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+fragvet:
+	$(GO) run ./cmd/fragvet ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,137 @@
+// Command fragvet runs the repo's custom static-analysis suite (package
+// internal/analysis) over the module: determinism (rangemaporder), float
+// tolerance discipline (floatcmp), parameter aliasing (aliasretain), and
+// lock/blocking discipline (lockheld). It exits non-zero when any
+// diagnostic survives, which is how `make check` gates the tree
+// (DESIGN.md §3.6).
+//
+// Usage:
+//
+//	fragvet [./...]
+//	fragvet fragalloc/internal/core fragalloc/internal/mip
+//
+// With no arguments (or the ./... pattern) every package of the module is
+// analyzed. Suppress an individual finding with an annotated reason:
+//
+//	//fragvet:ignore <analyzer> — <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fragalloc/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fragvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := selectPackages(loader, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	pkgs := make([]*analysis.Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fragvet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectPackages resolves the command-line arguments to module import
+// paths. "./..." (or nothing) means the whole module; other arguments may
+// be import paths or module-relative directories.
+func selectPackages(loader *analysis.Loader, args []string) ([]string, error) {
+	all, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return all, nil
+	}
+	var paths []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == loader.ModulePath+"/..." {
+			return all, nil
+		}
+		paths = append(paths, resolveArg(loader, arg))
+	}
+	return paths, nil
+}
+
+// resolveArg maps one argument to an import path: already-qualified paths
+// pass through, directory-ish arguments ("./internal/core", "internal/core")
+// are joined onto the module path.
+func resolveArg(loader *analysis.Loader, arg string) string {
+	if arg == loader.ModulePath || strings.HasPrefix(arg, loader.ModulePath+"/") {
+		return arg
+	}
+	rel := strings.TrimPrefix(arg, "./")
+	rel = strings.TrimSuffix(rel, "/")
+	if rel == "" || rel == "." {
+		return loader.ModulePath
+	}
+	return loader.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("fragvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fragvet:", err)
+	os.Exit(1)
+}

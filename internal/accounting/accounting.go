@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"fragalloc/internal/model"
 )
@@ -109,6 +110,9 @@ func WorkloadSeed(seed int64) *model.Workload {
 		for f := range set {
 			frags = append(frags, f)
 		}
+		// Map iteration order is randomized; sort so the generated workload
+		// is bit-identical across runs before NormalizeQueryFragments.
+		sort.Ints(frags)
 
 		// Frequencies: Zipf over the template rank with a random tie-break
 		// so the rank order is not the ID order. Costs: lognormal per-

@@ -1,8 +1,13 @@
 package accounting
 
 import (
+	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 	"testing"
+
+	"fragalloc/internal/model"
 )
 
 func TestWorkloadShape(t *testing.T) {
@@ -43,6 +48,42 @@ func TestDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Error("different seed produced identical workload")
+	}
+}
+
+// digest canonically serializes everything solver input is built from —
+// fragment sizes, per-query fragment lists in stored order, and the exact
+// bits of every float — so any nondeterminism in construction (such as an
+// unsorted map range feeding the fragment lists) changes the hash.
+func digest(w *model.Workload) uint64 {
+	h := fnv.New64a()
+	for _, f := range w.Fragments {
+		fmt.Fprintf(h, "f|%d|%s|%x\n", f.ID, f.Name, math.Float64bits(f.Size))
+	}
+	for _, q := range w.Queries {
+		fmt.Fprintf(h, "q|%d|%s|%x|%x|%v\n", q.ID, q.Name,
+			math.Float64bits(q.Frequency), math.Float64bits(q.Cost), q.Fragments)
+	}
+	return h.Sum64()
+}
+
+// TestSeededSameOutput is the regression test for the unsorted map range
+// that used to build each query's fragment list: two independent builds
+// with the same seed must be bit-identical, and the stored fragment lists
+// must already be in sorted order (the generator sorts them itself rather
+// than relying on NormalizeQueryFragments to repair map-iteration order).
+func TestSeededSameOutput(t *testing.T) {
+	for _, seed := range []int64{DefaultSeed, 1234} {
+		a, b := WorkloadSeed(seed), WorkloadSeed(seed)
+		da, db := digest(a), digest(b)
+		if da != db {
+			t.Errorf("seed %d: digests differ between builds: %#x vs %#x", seed, da, db)
+		}
+		for _, q := range a.Queries {
+			if !sort.IntsAreSorted(q.Fragments) {
+				t.Fatalf("seed %d: query %s has unsorted fragment list %v", seed, q.Name, q.Fragments)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AliasRetain guards against the MIP-incumbent bug class: a function takes
+// a slice or map parameter and stores it — unchanged, without a copy —
+// into a struct field, a package-level variable, a container element, or a
+// composite literal. The stored header aliases the caller's backing array,
+// so a later in-place mutation on either side silently corrupts the other
+// (PR 1's incumbent corruption was exactly a retained proposal slice). The
+// fix is an explicit copy at the retention point:
+//
+//	s.path = append([]fixing(nil), path...)
+//
+// which also documents the ownership transfer. Retaining is legitimate
+// when the callee is documented to take ownership; annotate those sites.
+var AliasRetain = &Analyzer{
+	Name: "aliasretain",
+	Doc: "flag slice/map parameters retained in struct fields, package " +
+		"variables, containers, or composite literals without a copy",
+	Run: runAliasRetain,
+}
+
+func runAliasRetain(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				typ, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			params := aliasableParams(pass, typ)
+			if len(params) > 0 {
+				checkRetention(pass, body, params)
+			}
+			return true // nested literals are visited with their own params
+		})
+	}
+}
+
+// aliasableParams collects the parameter objects of fn whose type is
+// (underlying) a slice or map.
+func aliasableParams(pass *Pass, typ *ast.FuncType) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if typ.Params == nil {
+		return params
+	}
+	for _, field := range typ.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Slice, *types.Map:
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// checkRetention flags stores of a bare parameter into a location that
+// outlives the call frame's locals.
+func checkRetention(pass *Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+	paramIdent := func(e ast.Expr) *ast.Ident {
+		if id, ok := e.(*ast.Ident); ok && params[pass.Pkg.Info.ObjectOf(id)] {
+			return id
+		}
+		return nil
+	}
+	report := func(id *ast.Ident, where string) {
+		pass.Reportf(id.Pos(),
+			"parameter %s is retained by %s without a copy; copy it (append/copy/maps.Clone) or annotate why ownership transfers",
+			id.Name, where)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				id := paramIdent(rhs)
+				if id == nil || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					report(id, "assignment to field "+exprString(lhs))
+				case *ast.IndexExpr:
+					report(id, "store into element "+exprString(lhs))
+				case *ast.StarExpr:
+					report(id, "store through pointer "+exprString(lhs))
+				case *ast.Ident:
+					if obj := pass.Pkg.Info.ObjectOf(lhs); obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+						report(id, "assignment to package variable "+lhs.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if !isStructOrContainerLit(pass, n) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if id := paramIdent(v); id != nil {
+					report(id, "storage in composite literal "+litName(pass, n))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStructOrContainerLit reports whether lit builds a struct, slice, array,
+// or map value (the kinds that can carry an aliased header out of the
+// function).
+func isStructOrContainerLit(pass *Pass, lit *ast.CompositeLit) bool {
+	t := pass.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Slice, *types.Array, *types.Map:
+		return true
+	}
+	return false
+}
+
+func litName(pass *Pass, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return exprString(lit.Type)
+	}
+	if t := pass.Pkg.Info.TypeOf(lit); t != nil {
+		return t.String()
+	}
+	return "literal"
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isMapExpr reports whether e's type is (underlying) a map.
+func isMapExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Pkg.Info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSliceIndex reports whether idx indexes a slice or array (not a map or
+// string); writes through such an index are position-dependent.
+func isSliceIndex(pass *Pass, idx *ast.IndexExpr) bool {
+	t := pass.Pkg.Info.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// isFloat reports whether t is (underlying) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedFrom reports whether t (after deref) is the named type pkg.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

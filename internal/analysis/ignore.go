@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //fragvet:ignore annotation.
+type directive struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// directives indexes the valid ignore annotations of a package and carries
+// the diagnostics produced by malformed ones.
+type directives struct {
+	// byLine maps file -> line -> analyzer names ignored on that line.
+	byLine map[string]map[int][]string
+	errs   []Diagnostic
+}
+
+// collectDirectives scans every comment of the package for fragvet:ignore
+// annotations. known holds the registered analyzer names; a directive that
+// names anything else — or that carries no reason — is itself reported, so
+// suppressions cannot silently rot.
+func collectDirectives(pkg *Package, known map[string]bool) *directives {
+	ds := &directives{byLine: make(map[string]map[int][]string)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				ds.parseComment(pkg, known, c.Text, c.Pos())
+			}
+		}
+	}
+	return ds
+}
+
+// parseComment handles one comment. Accepted forms:
+//
+//	//fragvet:ignore <analyzer> — <reason>
+//	//fragvet:ignore <analyzer> -- <reason>
+//	/*fragvet:ignore <analyzer> — <reason>*/
+func (ds *directives) parseComment(pkg *Package, known map[string]bool, text string, pos token.Pos) {
+	body, ok := commentBody(text)
+	if !ok {
+		return
+	}
+	rest, ok := strings.CutPrefix(body, "fragvet:ignore")
+	if !ok {
+		return
+	}
+	position := pkg.Fset.Position(pos)
+	fail := func(msg string) {
+		ds.errs = append(ds.errs, Diagnostic{Analyzer: "fragvet", Pos: position, Message: msg})
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return // e.g. "fragvet:ignorexyz" is not a directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		fail("ignore directive is missing an analyzer name: //fragvet:ignore <analyzer> — <reason>")
+		return
+	}
+	name := fields[0]
+	if !known[name] {
+		fail("ignore directive names unknown analyzer " + quote(name))
+		return
+	}
+	reason := ""
+	if len(fields) > 1 {
+		sep := fields[1]
+		if sep == "—" || sep == "--" || sep == "-" || sep == "–" {
+			reason = strings.TrimSpace(strings.Join(fields[2:], " "))
+		} else {
+			fail("ignore directive needs a separator and reason: //fragvet:ignore " + name + " — <reason>")
+			return
+		}
+	}
+	if reason == "" {
+		fail("ignore directive for " + quote(name) + " has an empty reason; say why the flagged code is safe")
+		return
+	}
+	lines := ds.byLine[position.Filename]
+	if lines == nil {
+		lines = make(map[int][]string)
+		ds.byLine[position.Filename] = lines
+	}
+	lines[position.Line] = append(lines[position.Line], name)
+}
+
+// commentBody strips the comment markers and leading space from a raw
+// comment and reports whether it could.
+func commentBody(text string) (string, bool) {
+	if rest, ok := strings.CutPrefix(text, "//"); ok {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(text, "/*"); ok {
+		return strings.TrimSuffix(rest, "*/"), true
+	}
+	return "", false
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at pos is
+// covered by a valid directive on the same line or the line directly above.
+func (ds *directives) suppressed(analyzer string, pos token.Position) bool {
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RangeMapOrder guards the determinism invariant that made trim.go's
+// routing-LP layout a bug hunt: Go randomizes map iteration order, so a
+// `range` over a map whose body appends to a slice, writes through a slice
+// index, or constructs LP rows/columns produces run-to-run drift that
+// reaches solver input or output. The canonical fix — collect the keys,
+// sort them, iterate the sorted slice — is recognized and exempt: a loop
+// that only appends the keys to local slices which are all passed to a
+// sort call later in the same function is clean.
+var RangeMapOrder = &Analyzer{
+	Name: "rangemaporder",
+	Doc: "flag range-over-map loops whose iteration order can leak into solver " +
+		"input or output (slice appends, indexed slice writes, LP row/column construction)",
+	Run: runRangeMapOrder,
+}
+
+// lpConstructors are the methods that append columns/rows to a simplex
+// problem; calling one inside a map range makes the variable or row order —
+// and with it the vertex the simplex picks among degenerate optima —
+// depend on map iteration order.
+var lpConstructors = map[string]bool{"AddVar": true, "AddRow": true}
+
+// sortCalls are the sort-package entry points that establish a
+// deterministic order over a collected key slice.
+var sortCalls = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Ints": true, "Strings": true, "Float64s": true,
+}
+
+func runRangeMapOrder(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		var stack nodeStack
+		ast.Inspect(file, func(n ast.Node) bool {
+			if !stack.step(n) {
+				return true
+			}
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapExpr(pass, rs.X) {
+				return true
+			}
+			checkMapRange(pass, stack.enclosingFuncBody(), rs)
+			return true
+		})
+	}
+}
+
+// rangeFinding describes one order-dependent operation in a map-range body.
+type rangeFinding struct {
+	kind string       // human description of the leak
+	obj  types.Object // append target, if the finding is a local-slice append
+}
+
+func checkMapRange(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt) {
+	findings := collectRangeFindings(pass, rs)
+	if len(findings) == 0 {
+		return
+	}
+	// Collect-then-sort exemption: every finding is an append to a local
+	// slice, and each of those slices is sorted after the loop.
+	exempt := encl != nil
+	for _, f := range findings {
+		if f.obj == nil || !sortedAfter(pass, encl, rs, f.obj) {
+			exempt = false
+			break
+		}
+	}
+	if exempt {
+		return
+	}
+	f := findings[0]
+	pass.Reportf(rs.For,
+		"iteration order of map %s leaks into %s; range over sorted keys instead",
+		exprString(rs.X), f.kind)
+}
+
+// collectRangeFindings walks the body of rs (excluding nested function
+// literals, which run on their own schedule) for order-dependent operations.
+func collectRangeFindings(pass *Pass, rs *ast.RangeStmt) []rangeFinding {
+	var findings []rangeFinding
+	add := func(kind string, obj types.Object) {
+		findings = append(findings, rangeFinding{kind: kind, obj: obj})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+						if obj := localTarget(pass, lhs, rs.Body); obj != nil || !declaredWithin(targetObj(pass, lhs), rs.Body) {
+							add("a slice append (nondeterministic element order)", obj)
+						}
+						continue
+					}
+				}
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isSliceIndex(pass, idx) &&
+					!declaredWithin(baseObj(pass, idx), rs.Body) {
+					add("an indexed slice write (nondeterministic write order)", nil)
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := n.X.(*ast.IndexExpr); ok && isSliceIndex(pass, idx) &&
+				!declaredWithin(baseObj(pass, idx), rs.Body) {
+				add("an indexed slice write (nondeterministic write order)", nil)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && lpConstructors[sel.Sel.Name] {
+				add("LP row/column construction ("+sel.Sel.Name+"), which steers simplex pivot tie-breaks", nil)
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// localTarget returns the object of lhs when it is a plain identifier
+// declared outside body (a candidate for the collect-then-sort exemption).
+func localTarget(pass *Pass, lhs ast.Expr, body *ast.BlockStmt) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Pkg.Info.ObjectOf(id)
+	if obj == nil || declaredWithin(obj, body) {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}
+
+// targetObj resolves the ultimate identifier object a write lands on, or
+// nil when it cannot be determined.
+func targetObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.Pkg.Info.ObjectOf(x)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return pass.Pkg.Info.ObjectOf(x.Sel)
+		default:
+			return nil
+		}
+	}
+}
+
+// baseObj resolves the identifier at the base of an index expression chain
+// (counts[bb][i] -> counts).
+func baseObj(pass *Pass, idx *ast.IndexExpr) types.Object {
+	return targetObj(pass, idx.X)
+}
+
+// declaredWithin reports whether obj's declaration lies inside node. A nil
+// obj counts as not local (conservative: the write is flagged).
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort call located after
+// the range statement within the enclosing function body.
+func sortedAfter(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortCalls[sel.Sel.Name] {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.Pkg.Info.ObjectOf(pkg).(*types.PkgName); !ok || pn.Imported().Path() != "sort" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		// The sorted value may be wrapped (sort.Sort(byKey(keys))): search
+		// the first argument for the collected slice.
+		ast.Inspect(call.Args[0], func(a ast.Node) bool {
+			if id, ok := a.(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

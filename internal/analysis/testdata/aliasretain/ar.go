@@ -1,0 +1,71 @@
+// Package ar is golden-test input for the aliasretain analyzer.
+package ar
+
+type box struct {
+	items []int
+	meta  map[string]int
+}
+
+var global []int
+
+func retainField(b *box, items []int) {
+	b.items = items // want "parameter items is retained by assignment to field b.items"
+}
+
+func retainMapField(b *box, meta map[string]int) {
+	b.meta = meta // want "retained by assignment to field"
+}
+
+func retainGlobal(items []int) {
+	global = items // want "assignment to package variable global"
+}
+
+func retainLit(items []int) *box {
+	return &box{items: items} // want "storage in composite literal box"
+}
+
+func retainPositionalLit(items []int) box {
+	return box{items, nil} // want "storage in composite literal box"
+}
+
+func retainSliceLit(items []int) [][]int {
+	return [][]int{items} // want "storage in composite literal"
+}
+
+func retainElem(store map[string][]int, key string, items []int) {
+	store[key] = items // want "store into element"
+}
+
+func retainPtr(out *[]int, items []int) {
+	*out = items // want "store through pointer"
+}
+
+func retainInClosure(b *box, items []int) func() {
+	return func() {
+		b.items = items // want "retained by assignment to field"
+	}
+}
+
+func copyOK(b *box, items []int) {
+	b.items = append([]int(nil), items...)
+}
+
+func copyBuiltinOK(b *box, items []int) {
+	b.items = make([]int, len(items))
+	copy(b.items, items)
+}
+
+func localAliasOK(items []int) int {
+	tmp := items
+	return len(tmp)
+}
+
+func nonSliceOK(b *box, n int) {
+	b.items = make([]int, n)
+}
+
+func derivedExprOK(b *box, items []int) {
+	// Not a bare parameter: re-slicing still aliases but is out of the
+	// analyzer's precise scope; the bug class is the verbatim retention.
+	b.items = items[:0]
+}

@@ -1,0 +1,53 @@
+// Package fc is golden-test input for the floatcmp analyzer.
+package fc
+
+type vec struct{ x, y float64 }
+
+type myFloat float64
+
+const tol = 1e-9
+
+func eq(a, b float64) bool {
+	return a == b // want "exact floating-point == between computed values a and b"
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want "exact floating-point !="
+}
+
+func named(a, b myFloat) bool {
+	return a == b // want "exact floating-point =="
+}
+
+func fields(u, v vec) bool {
+	return u.x == v.x // want "exact floating-point =="
+}
+
+func chained(a, b, c float64) bool {
+	return a+b == c // want "exact floating-point =="
+}
+
+func zeroSentinelOK(a float64) bool { return a == 0 }
+
+func litOK(a float64) bool { return a != 1.5 }
+
+func namedConstOK(a float64) bool { return a == tol }
+
+func orderedOK(a, b float64) bool { return a < b || a >= b }
+
+func intsOK(a, b int) bool { return a == b }
+
+func stringsOK(a, b string) bool { return a == b }
+
+// EqTol is NOT exempt here: the designated tolerance helpers live in the
+// simplex package, and this package is called fc.
+func EqTol(a, b, tol float64) bool {
+	if a == b { // want "exact floating-point =="
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,29 @@
+// Package simplex (testdata stand-in) verifies that the designated
+// tolerance helpers are exempt from floatcmp: their exact-equality fast
+// path is the one place the comparison is the point.
+package simplex
+
+// EqTol reports whether a and b are equal within tol.
+func EqTol(a, b, tol float64) bool {
+	if a == b { // exempt: designated helper fast path
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// LeTol reports a <= b within tol.
+func LeTol(a, b, tol float64) bool {
+	if a == b { // exempt
+		return true
+	}
+	return a-b <= tol
+}
+
+// notDesignated is in the right package but not on the helper list.
+func notDesignated(a, b float64) bool {
+	return a == b // want "exact floating-point =="
+}

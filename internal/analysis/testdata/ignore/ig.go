@@ -1,0 +1,56 @@
+// Package ig is golden-test input for the fragvet:ignore suppression path.
+package ig
+
+func suppressedTrailing(m map[int]int, out []int) {
+	for k, v := range m { //fragvet:ignore rangemaporder — writes land on disjoint indices, so the final state is order-independent
+		out[k] = v
+	}
+}
+
+func suppressedLineAbove(m map[int]int, out []int) {
+	//fragvet:ignore rangemaporder — writes land on disjoint indices
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+func suppressedDoubleDash(a, b float64) bool {
+	return a != b //fragvet:ignore floatcmp -- exact tie-break comparison is deliberate and deterministic
+}
+
+func wrongAnalyzerDoesNotSuppress(m map[int]int, out []int) {
+	//fragvet:ignore floatcmp — this names the wrong analyzer for the finding below
+	for k, v := range m { // want "iteration order of map"
+		out[k] = v
+	}
+}
+
+func emptyReason(m map[int]int, out []int) {
+	for k, v := range m { /*fragvet:ignore rangemaporder*/ // want "empty reason" "iteration order of map"
+		out[k] = v
+	}
+}
+
+func missingSeparator(a, b float64) bool {
+	return a == b /*fragvet:ignore floatcmp no separator given*/ // want "needs a separator" "exact floating-point"
+}
+
+func unknownAnalyzer(m map[int]int, out []int) {
+	for k, v := range m { /*fragvet:ignore nosuchpass — misspelled analyzer*/ // want "unknown analyzer \"nosuchpass\"" "iteration order of map"
+		out[k] = v
+	}
+}
+
+func missingName(m map[int]int, out []int) {
+	for k, v := range m { /*fragvet:ignore*/ // want "missing an analyzer name" "iteration order of map"
+		out[k] = v
+	}
+}
+
+func tooFarAbove(m map[int]int, out []int) {
+	//fragvet:ignore rangemaporder — two lines above the finding, so it does not apply
+
+	for k, v := range m { // want "iteration order of map"
+		out[k] = v
+	}
+}

@@ -1,0 +1,135 @@
+// Package rmo is golden-test input for the rangemaporder analyzer. The
+// // want comments are matched against the diagnostics by the test harness.
+package rmo
+
+import "sort"
+
+// problem mimics the simplex.Problem construction surface.
+type problem struct{ n int }
+
+func (p *problem) AddVar(lb, ub, obj float64) int            { p.n++; return p.n }
+func (p *problem) AddRow(idx []int, coef []float64) int      { p.n++; return p.n }
+func (p *problem) SetBound(j int, lb, ub float64)            {}
+func (p *problem) addVarUnrelated(m map[int]bool) (out bool) { return }
+
+func appendNoSort(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want "iteration order of map m leaks into a slice append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendThenSortInts(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[[2]int]bool) [][2]int {
+	var keys [][2]int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a][0] < keys[b][0] })
+	return keys
+}
+
+func indexedWrite(m map[int]float64, out []float64) {
+	for k, v := range m { // want "iteration order of map m leaks into an indexed slice write"
+		out[k] = v
+	}
+}
+
+func indexedIncrement(m map[int]int, counts []int) {
+	for k := range m { // want "indexed slice write"
+		counts[k]++
+	}
+}
+
+func localSliceOK(m map[int]int) {
+	for k, v := range m {
+		row := make([]int, 2)
+		row[0] = k
+		row[1] = v
+		sink(row)
+	}
+}
+
+func localAppendOK(m map[int]int) {
+	for k := range m {
+		var tmp []int
+		tmp = append(tmp, k)
+		sink(tmp)
+	}
+}
+
+func mapWriteOK(m map[int]int, inv map[int]int) {
+	for k, v := range m {
+		inv[v] = k
+	}
+}
+
+func lpColumns(m map[int]float64, p *problem) {
+	for range m { // want "LP row/column construction"
+		p.AddVar(0, 1, 0)
+	}
+}
+
+func lpRows(m map[int][]int, p *problem) {
+	for _, idx := range m { // want "LP row/column construction"
+		p.AddRow(idx, nil)
+	}
+}
+
+func boundsOK(m map[int]int, p *problem) {
+	for k := range m {
+		p.SetBound(k, 0, 0) // idempotent per column: order-insensitive
+	}
+}
+
+func sortedButLP(m map[int]float64, p *problem) []int {
+	var keys []int
+	for k := range m { // want "iteration order of map"
+		keys = append(keys, k)
+		p.AddVar(0, 1, 0)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortBeforeLoopStillFlagged(m map[int]string) []int {
+	var keys []int
+	sort.Ints(keys)
+	for k := range m { // want "slice append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func funcLitBodyNotMine(m map[int]int) func() []int {
+	var fns []func() []int
+	for k := range m { // want "slice append"
+		k := k
+		fns = append(fns, func() []int {
+			var out []int
+			out = append(out, k) // inside a literal: analyzed on its own
+			return out
+		})
+	}
+	if len(fns) > 0 {
+		return fns[0]
+	}
+	return nil
+}
+
+func sliceRangeOK(xs []int, out []int) {
+	for i, x := range xs {
+		out[i] = x
+	}
+}
+
+func sink([]int) {}

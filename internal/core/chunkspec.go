@@ -42,7 +42,7 @@ func Flat(n int) *ChunkSpec { return &ChunkSpec{Leaves: n} }
 
 // Split returns an inner spec dividing its leaves among the children.
 func Split(children ...*ChunkSpec) *ChunkSpec {
-	s := &ChunkSpec{Children: children}
+	s := &ChunkSpec{Children: append([]*ChunkSpec(nil), children...)}
 	for _, c := range children {
 		s.Leaves += c.Leaves
 	}

@@ -216,6 +216,7 @@ func splitFixed(w *model.Workload, ss *model.ScenarioSet, active []int, f, k int
 	loads := ss.ExpectedLoads(w)
 	order := append([]int(nil), active...)
 	sort.SliceStable(order, func(a, b int) bool {
+		//fragvet:ignore floatcmp — sort comparator: the exact != keeps the ordering antisymmetric and transitive; a tolerance would not
 		if loads[order[a]] != loads[order[b]] {
 			return loads[order[a]] < loads[order[b]]
 		}
@@ -355,6 +356,7 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 		for bb := 0; bb < b; bb++ {
 			d.alloc.Fragments[leaf+bb] = append([]int(nil), sol.frags[bb]...)
 		}
+		//fragvet:ignore rangemaporder — each (j,s) key writes only its own Shares[s][j] row, so the final contents are order-independent
 		for key, zs := range sol.z {
 			j, s := key[0], key[1]
 			for bb, z := range zs {
@@ -491,6 +493,7 @@ func (d *driver) childSubproblem(sp *subproblem, sol *solution, bb int) *subprob
 		shares[s] = make([]float64, len(d.w.Queries))
 	}
 	flexSet := make(map[int]bool)
+	//fragvet:ignore rangemaporder — each (j,s) key writes only its own shares[s][j] cell, so the final contents are order-independent
 	for key, zs := range sol.z {
 		j, s := key[0], key[1]
 		if zs[bb] > 1e-9 {

@@ -83,11 +83,13 @@ func ExportLP(out io.Writer, w *model.Workload, ss *model.ScenarioSet, k int, op
 			names[col] = fmt.Sprintf("x_%s_n%d", fragName(i), b)
 		}
 	}
+	//fragvet:ignore rangemaporder — each column index is assigned exactly one name; names[col] writes are disjoint across keys
 	for j, cols := range ix.y {
 		for b, col := range cols {
 			names[col] = fmt.Sprintf("y_%s_n%d", queryName(j), b)
 		}
 	}
+	//fragvet:ignore rangemaporder — each column index is assigned exactly one name; names[col] writes are disjoint across keys
 	for key, cols := range ix.z {
 		for b, col := range cols {
 			names[col] = fmt.Sprintf("z_%s_n%d_s%d", queryName(key[0]), b, key[1])

@@ -240,7 +240,7 @@ func (sp *subproblem) build(withSymmetry bool) (*simplex.Problem, *indices, []in
 			for bb := range coef {
 				coef[bb] = 1
 			}
-			p.AddRow(append([]int(nil), cols...), coef, simplex.EQ, sp.shares[s][j])
+			p.AddRow(cols, coef, simplex.EQ, sp.shares[s][j])
 		}
 	}
 
@@ -273,7 +273,7 @@ func (sp *subproblem) symClasses() [][]int {
 		cur = nil
 	}
 	for b := start; b < len(sp.weights); b++ {
-		if len(cur) > 0 && math.Abs(sp.weights[b]-sp.weights[cur[0]]) > 1e-12 {
+		if len(cur) > 0 && !simplex.EqTol(sp.weights[b], sp.weights[cur[0]], 1e-12) {
 			flush()
 		}
 		cur = append(cur, b)
@@ -330,6 +330,7 @@ func (sp *subproblem) rounding(ix *indices) func(x []float64) []float64 {
 	keyW := sp.symKeyWeights()
 	return func(x []float64) []float64 {
 		out := append([]float64(nil), x...)
+		//fragvet:ignore rangemaporder — each query's column set is disjoint; out[col] writes never overlap across keys
 		for _, cols := range ix.y {
 			best, bestVal := 0, -1.0
 			for bb, col := range cols {
@@ -488,6 +489,7 @@ func (sp *subproblem) solve(opt mip.Options, hints ...map[int][]bool) (*solution
 			continue
 		}
 		prop := make([]float64, p.NumVars)
+		//fragvet:ignore rangemaporder — each query's column set is disjoint; prop[col] writes never overlap across keys
 		for j, row := range hint {
 			cols, ok := ix.y[j]
 			if !ok {

@@ -96,7 +96,7 @@ func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
 		for t := range coef {
 			coef[t] = 1
 		}
-		p.AddRow(append([]int(nil), cols...), coef, simplex.EQ, sp.shares[s][j])
+		p.AddRow(cols, coef, simplex.EQ, sp.shares[s][j])
 	}
 	var err error
 	tr.solver, err = simplex.NewSolver(p, simplex.Options{})
@@ -203,6 +203,7 @@ func (tr *trimmer) trim(x []float64) []float64 {
 			break
 		}
 		sort.SliceStable(cands, func(a, b int) bool {
+			//fragvet:ignore floatcmp — sort comparator: the exact != keeps the ordering antisymmetric and transitive; a tolerance would not
 			if cands[a].save != cands[b].save {
 				return cands[a].save > cands[b].save
 			}
@@ -259,6 +260,7 @@ func (tr *trimmer) trim(x []float64) []float64 {
 			}
 		}
 	}
+	//fragvet:ignore rangemaporder — trim and main LP columns pair one-to-one per key; x[main[bb]] writes are disjoint across keys
 	for key, cols := range tr.zcol {
 		main := ix.z[key]
 		for bb, col := range cols {

@@ -33,6 +33,7 @@ type queue []*item
 
 func (q queue) Len() int { return len(q) }
 func (q queue) Less(i, j int) bool {
+	//fragvet:ignore floatcmp — heap comparator: the exact != keeps the ordering antisymmetric and transitive; a tolerance would not
 	if q[i].priority != q[j].priority {
 		return q[i].priority > q[j].priority // max-heap
 	}

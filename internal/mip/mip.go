@@ -202,7 +202,12 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("mip: integer variable %d must have finite bounds", j)
 		}
 	}
-	s := &search{opt: opt, p: p, intVars: intVars, exact: true, skippedBound: math.Inf(1)}
+	s := &search{
+		opt: opt, p: p,
+		intVars:      append([]int(nil), intVars...),
+		exact:        true,
+		skippedBound: math.Inf(1),
+	}
 	var err error
 	s.lp, err = simplex.NewSolver(p, opt.LP)
 	if err != nil {
@@ -269,6 +274,7 @@ func (s *search) fractionalVar(x []float64) int {
 		if j < len(s.opt.Priority) {
 			prio = s.opt.Priority[j]
 		}
+		//fragvet:ignore floatcmp — exact tie-break between verbatim copies of the same stored priority values; no arithmetic precedes the compare
 		if best == -1 || prio > bestPrio || (prio == bestPrio && dist > bestDist) {
 			best, bestPrio, bestDist = j, prio, dist
 		}

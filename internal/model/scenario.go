@@ -13,9 +13,10 @@ type ScenarioSet struct {
 	Frequencies [][]float64 `json:"frequencies"`
 }
 
-// SingleScenario wraps one frequency vector as a ScenarioSet with S=1.
+// SingleScenario wraps one frequency vector as a ScenarioSet with S=1. The
+// vector is copied, so later caller mutations do not leak into the set.
 func SingleScenario(freq []float64) *ScenarioSet {
-	return &ScenarioSet{Frequencies: [][]float64{freq}}
+	return &ScenarioSet{Frequencies: [][]float64{append([]float64(nil), freq...)}}
 }
 
 // DefaultScenario builds the S=1 scenario set from the workload's default

@@ -119,6 +119,7 @@ func (s *Solver) repairDualFeasibility() bool {
 	y := s.btran()
 	for j := 0; j < s.ncols; j++ {
 		st := s.vstat[j]
+		//fragvet:ignore floatcmp — fixed-variable check: SetBound(j, v, v) stores bit-identical bounds, so exact equality is the invariant
 		if st == isBasic || s.lb[j] == s.ub[j] {
 			continue
 		}
@@ -198,6 +199,7 @@ func (s *Solver) runDual() Status {
 		var bestAlpha float64
 		for j := 0; j < s.ncols; j++ {
 			st := s.vstat[j]
+			//fragvet:ignore floatcmp — fixed-variable check: SetBound(j, v, v) stores bit-identical bounds, so exact equality is the invariant
 			if st == isBasic || s.lb[j] == s.ub[j] {
 				continue
 			}

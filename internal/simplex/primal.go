@@ -32,6 +32,7 @@ func (s *Solver) runPrimal(phase1 bool) Status {
 		var enterD, bestScore float64
 		for j := 0; j < s.ncols; j++ {
 			st := s.vstat[j]
+			//fragvet:ignore floatcmp — fixed-variable check: SetBound(j, v, v) stores bit-identical bounds, so exact equality is the invariant
 			if st == isBasic || s.lb[j] == s.ub[j] {
 				continue
 			}

@@ -80,11 +80,14 @@ func (p *Problem) AddVar(lb, ub, obj float64) int {
 	return j
 }
 
-// AddRow appends a constraint and returns its index. The row is stored as
-// given; callers must not mutate idx/coef afterwards.
+// AddRow appends a constraint and returns its index. The row data is
+// copied, so callers may reuse idx/coef as scratch buffers.
 func (p *Problem) AddRow(idx []int, coef []float64, rel Relation, rhs float64) int {
 	r := len(p.Rows)
-	p.Rows = append(p.Rows, Row{Idx: idx, Coef: coef})
+	p.Rows = append(p.Rows, Row{
+		Idx:  append([]int(nil), idx...),
+		Coef: append([]float64(nil), coef...),
+	})
 	p.Rel = append(p.Rel, rel)
 	p.RHS = append(p.RHS, rhs)
 	return r

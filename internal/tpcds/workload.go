@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"fragalloc/internal/model"
 )
@@ -248,6 +249,9 @@ func (g *queryGen) query(id int, name string) model.Query {
 	for f := range set {
 		frags = append(frags, f)
 	}
+	// Map iteration order is randomized; sort so the generated workload
+	// is bit-identical across runs before NormalizeQueryFragments.
+	sort.Ints(frags)
 
 	// Cost model: time grows with the touched fact volume and join count,
 	// with a lognormal factor for plan quality variance. The resulting
