@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race bench
+.PHONY: check fmt-check vet fragvet build test race fault bench
 
-check: fmt-check vet fragvet build race
+check: fmt-check vet fragvet build fault race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,8 +26,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-instrumented solver tests run 5-20x slower than native; the core
+# package alone needs ~10 minutes, so the default 10-minute per-package
+# timeout is too tight when packages share the machine.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
+
+# The deterministic fault-injection suite (DESIGN.md §3.7): simplex
+# recovery rungs, MIP cancellation, and the driver's greedy degradation,
+# under the race detector because the injector is shared across workers.
+fault:
+	$(GO) test -race -run 'Recovery|Cancel|Degraded|Retry|Fault|Seeded' \
+		./internal/simplex ./internal/mip ./internal/core ./internal/faultinject
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE .

@@ -17,16 +17,42 @@
 //
 // The allocation JSON contains the per-node fragment lists and (for lp and
 // greedy) the certified routing shares.
+//
+// A -timeout bounds the whole run; Ctrl-C (SIGINT) or SIGTERM triggers the
+// same graceful wind-down. Either way the lp approach still emits its best
+// partial allocation — complete and feasible, with budget-terminated
+// subproblems carrying their incumbents and untouched ones degraded to the
+// greedy allocator — plus a per-subproblem status breakdown on stderr.
+//
+// Exit codes:
+//
+//	0  allocation computed; every subproblem optimal or feasible-in-budget
+//	2  allocation computed, but degraded (greedy fallback) or cut short by
+//	   -timeout / a signal — feasible, yet without the usual guarantees
+//	3  the input admits no feasible allocation
+//	1  internal error (bad flags, I/O, solver bug)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fragalloc"
 	"fragalloc/internal/mip"
+)
+
+// Exit codes; see the package doc.
+const (
+	exitOK         = 0
+	exitInternal   = 1
+	exitDegraded   = 2
+	exitInfeasible = 3
 )
 
 func main() {
@@ -40,11 +66,23 @@ func main() {
 	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
 	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem (lp)")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock limit; on expiry lp emits its best partial allocation (0 = none)")
 	parallel := flag.Int("parallel", 0, "concurrent subproblem solves for lp (0 = GOMAXPROCS, 1 = serial)")
 	out := flag.String("o", "", "output file (default stdout)")
 	exportLP := flag.String("export-lp", "", "write the exact MIP in CPLEX LP format to this file and exit")
 	verbose := flag.Bool("v", false, "progress logging to stderr")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM and -timeout share one cancellation context: the
+	// solvers poll ctx.Err down to individual simplex iterations and wind
+	// down with their best incumbents instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	w, err := loadWorkload(*workload, *in)
 	if err != nil {
@@ -71,10 +109,16 @@ func main() {
 	}
 
 	var alloc *fragalloc.Allocation
+	code := exitOK
 	start := time.Now()
 	switch *approach {
 	case "lp":
-		opt := fragalloc.Options{FixedQueries: *fixed, Parallelism: *parallel, MIP: mip.Options{TimeLimit: *budget, MaxStallNodes: 300}}
+		opt := fragalloc.Options{
+			FixedQueries: *fixed,
+			Parallelism:  *parallel,
+			MIP:          mip.Options{TimeLimit: *budget, MaxStallNodes: 300},
+			Canceled:     func() bool { return ctx.Err() != nil },
+		}
 		if *chunks != "" {
 			spec, err := fragalloc.ParseChunks(*chunks)
 			if err != nil {
@@ -89,11 +133,26 @@ func main() {
 		}
 		res, err := fragalloc.Allocate(w, ss, *k, opt)
 		if err != nil {
+			if errors.Is(err, fragalloc.ErrInfeasible) {
+				fmt.Fprintf(os.Stderr, "allocate: %v\n", err)
+				os.Exit(exitInfeasible)
+			}
 			fail(err)
 		}
 		alloc = res.Allocation
 		fmt.Fprintf(os.Stderr, "allocate: W/V=%.4f W=%.0f V=%.0f time=%v nodes=%d exact=%v\n",
 			res.ReplicationFactor, res.W, res.V, res.SolveTime.Round(time.Millisecond), res.BBNodes, res.Exact)
+		fmt.Fprintf(os.Stderr, "allocate: subproblems: %v (max gap %.4f)\n", res.Outcomes, res.MaxGap)
+		if res.Canceled {
+			fmt.Fprintf(os.Stderr, "allocate: run interrupted (%v); emitting the best partial allocation\n", ctx.Err())
+		}
+		if res.Outcomes.Degraded > 0 {
+			fmt.Fprintf(os.Stderr, "allocate: %d subproblem(s) degraded to the greedy allocator, replication-factor delta ≤ %.4f\n",
+				res.Outcomes.Degraded, res.DegradedDelta)
+		}
+		if res.Canceled || res.Outcomes.Degraded > 0 {
+			code = exitDegraded
+		}
 	case "greedy":
 		alloc, err = fragalloc.GreedyAllocate(w, nil, *k)
 		if err != nil {
@@ -124,11 +183,12 @@ func main() {
 		if err := fragalloc.SaveJSONWriter(os.Stdout, alloc); err != nil {
 			fail(err)
 		}
-		return
+		os.Exit(code)
 	}
 	if err := fragalloc.SaveJSON(*out, alloc); err != nil {
 		fail(err)
 	}
+	os.Exit(code)
 }
 
 func loadWorkload(name, path string) (*fragalloc.Workload, error) {
@@ -145,5 +205,5 @@ func loadWorkload(name, path string) (*fragalloc.Workload, error) {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "allocate: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitInternal)
 }

@@ -11,6 +11,9 @@
 //	-full                        paper-scale row sets (slow) instead of the
 //	                             reduced laptop defaults
 //	-budget 15s                  MIP time budget per subproblem
+//	-timeout 0                   overall wall-clock limit; on expiry the
+//	                             running experiment winds down with its best
+//	                             incumbents (0 = none)
 //	-unseen 30                   number of out-of-sample scenarios S̃
 //	-maxq 300                    accounting truncation for Table 1b's LP rows
 //	-seed 1                      scenario sampling seed
@@ -23,9 +26,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fragalloc/internal/experiments"
@@ -35,6 +41,7 @@ func main() {
 	workload := flag.String("workload", "tpcds", "workload: tpcds or accounting")
 	full := flag.Bool("full", false, "run the paper-scale row sets (slow)")
 	budget := flag.Duration("budget", 15*time.Second, "MIP time budget per subproblem")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock limit; on expiry the run winds down with its best incumbents (0 = none)")
 	unseen := flag.Int("unseen", 30, "number of out-of-sample scenarios")
 	maxq := flag.Int("maxq", 300, "accounting workload truncation for Table 1b LP rows")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
@@ -51,6 +58,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C / SIGTERM and -timeout share one cancellation context; the
+	// solvers poll it and finish with their best incumbents (degraded rows
+	// are tagged in the table output) instead of losing the whole run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := experiments.Config{
 		Workload:    *workload,
 		Full:        *full,
@@ -61,6 +79,7 @@ func main() {
 		Parallelism: *parallel,
 		Out:         os.Stdout,
 		Verbose:     *verbose,
+		Canceled:    func() bool { return ctx.Err() != nil },
 	}
 
 	var err error

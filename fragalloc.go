@@ -80,7 +80,15 @@ type (
 	ChunkSpec = core.ChunkSpec
 	// Ablation disables individual solver refinements for benchmarking.
 	Ablation = core.Ablation
+	// OutcomeCounts tallies per-subproblem solve outcomes (optimal /
+	// feasible / degraded) under the failure policy.
+	OutcomeCounts = core.OutcomeCounts
 )
+
+// ErrInfeasible marks inputs that admit no feasible allocation; match with
+// errors.Is. Solver breakdowns never surface as errors — they degrade to the
+// greedy allocator and are tallied in Result.Outcomes instead.
+var ErrInfeasible = core.ErrInfeasible
 
 // Evaluation of allocations against (unseen) scenarios.
 type (

@@ -44,7 +44,7 @@ type Analyzer struct {
 
 // Analyzers is the fragvet suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RangeMapOrder, FloatCmp, AliasRetain, LockHeld}
+	return []*Analyzer{RangeMapOrder, FloatCmp, AliasRetain, LockHeld, CtxHook}
 }
 
 // A Pass hands one analyzer the parsed and type-checked view of one package.

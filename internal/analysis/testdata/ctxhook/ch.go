@@ -1,0 +1,102 @@
+// Package ch is golden-test input for the ctxhook analyzer.
+package ch
+
+// LPOptions mimics simplex.Options: a hook-carrying solver options struct.
+type LPOptions struct {
+	MaxIters int
+	Canceled func() bool
+}
+
+// MIPOptions mimics mip.Options: hook-carrying, with nested LP options.
+type MIPOptions struct {
+	Nodes    int
+	LP       LPOptions
+	Canceled func() bool
+}
+
+// Plain has a Canceled field of the wrong shape; not a hook carrier.
+type Plain struct {
+	Canceled bool
+}
+
+// driver mimics core's driver: the hook arrives through a depth-1 field.
+type driver struct {
+	opt MIPOptions
+}
+
+func solveLP(LPOptions) int   { return 0 }
+func solveMIP(MIPOptions) int { return 0 }
+
+// dropsHook receives options carrying a hook but builds fresh LP options
+// without one: the nested solve detaches from cancellation.
+func dropsHook(opt MIPOptions) int {
+	return solveLP(LPOptions{MaxIters: 10}) // want "LPOptions literal drops the Canceled hook"
+}
+
+// dropsHookEmpty: the zero literal misses the hook too.
+func dropsHookEmpty(opt LPOptions) int {
+	return solveLP(LPOptions{}) // want "LPOptions literal drops the Canceled hook"
+}
+
+// viaReceiver: the hook arrives through the receiver's opt field.
+func (d *driver) dropsHookViaField() int {
+	return solveMIP(MIPOptions{Nodes: 5}) // want "MIPOptions literal drops the Canceled hook"
+}
+
+// setsHook propagates the hook inline: clean.
+func setsHook(opt MIPOptions) int {
+	return solveLP(LPOptions{MaxIters: 10, Canceled: opt.Canceled})
+}
+
+// nestedUnderHookOK: the inner LP literal misses Canceled, but the
+// enclosing MIP literal sets it — that outer layer chains the hook down.
+func nestedUnderHookOK(opt MIPOptions) int {
+	return solveMIP(MIPOptions{
+		LP:       LPOptions{MaxIters: 10},
+		Canceled: opt.Canceled,
+	})
+}
+
+// nestedWithoutHook: neither layer carries the hook forward.
+func nestedWithoutHook(opt MIPOptions) int {
+	return solveMIP(MIPOptions{ // want "MIPOptions literal drops the Canceled hook"
+		LP: LPOptions{MaxIters: 10}, // want "LPOptions literal drops the Canceled hook"
+	})
+}
+
+// patchedLaterOK: copy-then-patch — the literal's variable gets its
+// Canceled field assigned before use.
+func patchedLaterOK(opt MIPOptions) int {
+	lp := LPOptions{MaxIters: 10}
+	lp.Canceled = opt.Canceled
+	return solveLP(lp)
+}
+
+// patchedPointerOK: same through a pointer literal.
+func patchedPointerOK(opt MIPOptions) int {
+	lp := &LPOptions{MaxIters: 10}
+	lp.Canceled = opt.Canceled
+	return solveLP(*lp)
+}
+
+// positionalOK: positional literals set every field, hook included.
+func positionalOK(opt LPOptions) int {
+	return solveLP(LPOptions{10, opt.Canceled})
+}
+
+// noHookInScope: the function received no hook, so it owes nobody
+// propagation; constructing bare options is fine.
+func noHookInScope(n int) int {
+	return solveLP(LPOptions{MaxIters: n})
+}
+
+// plainFieldOK: a bool Canceled field is not a cancellation hook.
+func plainFieldOK(p Plain) Plain {
+	return Plain{}
+}
+
+// suppressedOK shows the escape hatch for intentional detachment.
+func suppressedOK(opt MIPOptions) int {
+	//fragvet:ignore ctxhook — this probe solve must run to completion even during shutdown
+	return solveLP(LPOptions{MaxIters: 10})
+}

@@ -37,6 +37,14 @@ type Options struct {
 	// MIP passes budgets (time limit, node limit, gap) to each subproblem
 	// solve. A TimeLimit applies per subproblem.
 	MIP mip.Options
+	// Canceled, when non-nil, is polled throughout the run — down to the
+	// individual simplex iterations of every subproblem solve. Once it
+	// returns true, in-flight subproblems wind down with their best
+	// incumbents, untouched ones degrade straight to the greedy allocator,
+	// and Allocate still returns a complete, feasible allocation with
+	// Result.Canceled set. The hook must be cheap and safe to call from
+	// multiple goroutines.
+	Canceled func() bool
 	// Ablation switches off individual solver refinements; used by the
 	// ablation benchmarks to quantify each design choice. Leave zero for
 	// production use.
@@ -83,6 +91,20 @@ type Result struct {
 	// FixedQueries lists the queries pinned to node 0 by partial
 	// clustering, in ascending order of expected load.
 	FixedQueries []int
+	// Outcomes tallies how the failure policy resolved each subproblem:
+	// proven optimal, budget-terminated feasible, or degraded to the greedy
+	// allocator (DESIGN.md §3.7).
+	Outcomes OutcomeCounts
+	// DegradedDelta is the aggregate replication-factor cost of the
+	// degraded subproblems: their allocated bytes beyond the single-copy
+	// floor of the coverage they chose, normalized by V. Zero when nothing
+	// degraded; an approximate upper bound on what degradation cost over an
+	// exact solve.
+	DegradedDelta float64
+	// Canceled reports that Options.Canceled cut the run short. The
+	// allocation is still complete and feasible — unfinished subproblems
+	// carry their best incumbent or a greedy fallback.
+	Canceled bool
 }
 
 // Allocate computes a robust fragment allocation of workload w for the
@@ -171,15 +193,18 @@ func Allocate(w *model.Workload, ss *model.ScenarioSet, k int, opt Options) (*Re
 	}
 
 	res := &Result{
-		Allocation:   alloc,
-		W:            alloc.TotalData(w),
-		V:            v,
-		MaxLoad:      d.maxLoad,
-		SolveTime:    time.Since(start),
-		BBNodes:      d.nodes,
-		MaxGap:       d.maxGap,
-		Exact:        d.exact,
-		FixedQueries: fixed,
+		Allocation:    alloc,
+		W:             alloc.TotalData(w),
+		V:             v,
+		MaxLoad:       d.maxLoad,
+		SolveTime:     time.Since(start),
+		BBNodes:       d.nodes,
+		MaxGap:        d.maxGap,
+		Exact:         d.exact,
+		FixedQueries:  fixed,
+		Outcomes:      d.outcomes,
+		DegradedDelta: d.degradedBytes / v,
+		Canceled:      d.canceled(),
 	}
 	res.ReplicationFactor = res.W / v
 	return res, nil
@@ -235,8 +260,8 @@ func splitFixed(w *model.Workload, ss *model.ScenarioSet, active []int, f, k int
 		}
 		if share > 1/float64(k)+1e-9 {
 			return nil, nil, fmt.Errorf(
-				"core: the %d fixed queries carry %.4f of scenario %d, above the node capacity 1/K=%.4f; decrease FixedQueries",
-				f, share, s, 1/float64(k))
+				"core: the %d fixed queries carry %.4f of scenario %d, above the node capacity 1/K=%.4f; decrease FixedQueries: %w",
+				f, share, s, 1/float64(k), ErrInfeasible)
 		}
 	}
 	return fixed, flex, nil
@@ -258,11 +283,13 @@ type driver struct {
 	gate  *gate       // bounds concurrent solver work; shared with scratch drivers
 	logMu *sync.Mutex // serializes opt.Logf across goroutines
 
-	mu      sync.Mutex // guards the solve statistics below
-	maxLoad float64
-	maxGap  float64
-	nodes   int
-	exact   bool
+	mu            sync.Mutex // guards the solve statistics below
+	maxLoad       float64
+	maxGap        float64
+	nodes         int
+	exact         bool
+	outcomes      OutcomeCounts
+	degradedBytes float64
 }
 
 func (d *driver) logf(format string, args ...any) {
@@ -283,6 +310,8 @@ func (d *driver) recordSolution(sol *solution) {
 	d.maxGap = math.Max(d.maxGap, sol.gap)
 	d.maxLoad = math.Max(d.maxLoad, sol.l)
 	d.exact = d.exact && sol.exact
+	d.outcomes.add(sol.outcome)
+	d.degradedBytes += sol.extraBytes
 }
 
 // solve recursively processes a subproblem according to spec, assigning the
@@ -324,12 +353,18 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 	var hintTasks []func() error
 	if len(spec.Children) == 0 && b >= 3 && !d.opt.Ablation.NoHints {
 		hintTasks = append(hintTasks, func() error {
+			if d.canceled() {
+				return nil // the main solve will degrade; skip the pre-solve
+			}
 			hint = d.hierarchicalHint(sp, b)
 			return nil
 		})
 	}
 	if len(spec.Children) == 0 && leaf == 0 && spec.Leaves == d.alloc.K && !d.opt.Ablation.NoHints {
 		hintTasks = append(hintTasks, func() error {
+			if d.canceled() {
+				return nil
+			}
 			greedyHint = d.greedyHint(sp, b)
 			return nil
 		})
@@ -343,13 +378,13 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 	d.logf("core: solving split %v (B=%d, %d flexible queries, %d fragments) for leaves %d..%d",
 		spec, b, len(sp.flexQ), countTrue(sp.activeFrag), leaf, leaf+spec.Leaves-1)
 	d.gate.acquire()
-	sol, err := sp.solve(d.opt.MIP, hint, greedyHint)
+	sol, err := d.solveWithPolicy(sp, spec, hint, greedyHint)
 	d.gate.release()
 	if err != nil {
 		return err
 	}
 	d.recordSolution(sol)
-	d.logf("core: split %v solved: L=%.4f gap=%.4f nodes=%d", spec, sol.l, sol.gap, sol.nodes)
+	d.logf("core: split %v solved (%v): L=%.4f gap=%.4f nodes=%d", spec, sol.outcome, sol.l, sol.gap, sol.nodes)
 
 	if len(spec.Children) == 0 {
 		// Exact group: subnodes are final nodes.

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"fragalloc/internal/greedy"
+	"fragalloc/internal/mip"
+)
+
+// degrade is the terminal rung of the failure policy: it produces a
+// feasible — but not optimal — solution for the subproblem with the greedy
+// baseline allocator instead of the MIP. Feasibility needs no solver: the
+// load limit L is penalized, not constrained, so any routing that conserves
+// the inherited shares (7), covers every placed query's fragments (4), and
+// respects the share upper bounds (5) is a valid solution; the greedy
+// heuristic supplies a reasonable one. degrade never fails: if even the
+// greedy allocator errors out, a deterministic least-loaded whole-query
+// assignment takes over.
+//
+// The cost of degrading is tracked in solution.extraBytes: the allocated
+// bytes beyond the single-copy lower bound of the chosen coverage, which
+// aggregates into Result.DegradedDelta (an approximate upper bound on the
+// replication-factor cost of all degraded subproblems).
+func (sp *subproblem) degrade() *solution {
+	b := len(sp.weights)
+	S := sp.ss.S()
+
+	// Aggregate the inherited per-scenario loads into one frequency vector,
+	// so the greedy shares are proportional to the load each query actually
+	// carries in this subproblem.
+	freq := make([]float64, len(sp.w.Queries))
+	queryLoad := make([]float64, len(sp.w.Queries))
+	var flexLoad float64
+	for _, j := range sp.flexQ {
+		var load float64
+		for s := 0; s < S; s++ {
+			load += sp.shares[s][j] * sp.ss.Frequencies[s][j] * sp.w.Queries[j].Cost / sp.costs[s]
+		}
+		if load > 0 && sp.w.Queries[j].Cost > 0 {
+			freq[j] = load / sp.w.Queries[j].Cost
+			queryLoad[j] = load
+			flexLoad += load
+		}
+	}
+	var fixedAgg float64
+	if sp.hasFixed {
+		for s := 0; s < S; s++ {
+			fixedAgg += sp.fixedLoad(s)
+		}
+	}
+
+	// routing[j][bb] is the fraction of query j's inherited share routed to
+	// subnode bb (rows sum to 1 for queries that carry load).
+	routing := make(map[int][]float64, len(sp.flexQ))
+	if flexLoad > 0 {
+		if r := sp.greedyRouting(freq, flexLoad, fixedAgg); r != nil {
+			routing = r
+		} else {
+			routing = sp.fallbackRouting(queryLoad, fixedAgg)
+		}
+	}
+
+	// Assemble the solution exactly like decode does for a MIP result.
+	sol := &solution{
+		yes:     make(map[int][]bool, len(sp.flexQ)),
+		z:       make(map[[2]int][]float64),
+		exact:   false,
+		status:  mip.StatusFeasible,
+		outcome: OutcomeDegraded,
+	}
+	need := make([][]bool, b)
+	for bb := range need {
+		need[bb] = make([]bool, len(sp.w.Fragments))
+	}
+	for _, j := range sp.flexQ {
+		r := routing[j]
+		runnable := make([]bool, b)
+		for bb := 0; bb < b && r != nil; bb++ {
+			if r[bb] > 0 {
+				runnable[bb] = true
+				for _, i := range sp.w.Queries[j].Fragments {
+					need[bb][i] = true
+				}
+			}
+		}
+		sol.yes[j] = runnable
+		if r == nil {
+			continue
+		}
+		for s := 0; s < S; s++ {
+			if sp.shares[s][j] <= 0 || sp.ss.Frequencies[s][j] <= 0 {
+				continue
+			}
+			zs := make([]float64, b)
+			for bb := 0; bb < b; bb++ {
+				zs[bb] = sp.shares[s][j] * r[bb]
+			}
+			sol.z[[2]int{j, s}] = zs
+		}
+	}
+	if sp.hasFixed {
+		for _, j := range sp.fixedQ {
+			if !sp.fixedRuns(j) {
+				continue
+			}
+			for _, i := range sp.w.Queries[j].Fragments {
+				need[0][i] = true
+			}
+		}
+	}
+	sol.frags = make([][]int, b)
+	anywhere := make([]bool, len(sp.w.Fragments))
+	var allocated, single float64
+	for bb := 0; bb < b; bb++ {
+		for i, n := range need[bb] {
+			if !n {
+				continue
+			}
+			sol.frags[bb] = append(sol.frags[bb], i)
+			allocated += sp.w.Fragments[i].Size
+			if !anywhere[i] {
+				anywhere[i] = true
+				single += sp.w.Fragments[i].Size
+			}
+		}
+	}
+	sol.extraBytes = math.Max(0, allocated-single)
+	// The greedy point carries no proven bound; report its memory excess
+	// over the single-copy floor as the gap, in the same W/V units the MIP
+	// gaps use.
+	sol.gap = sol.extraBytes / sp.vNorm
+	sol.l = sp.worstLoad(sol)
+	return sol
+}
+
+// greedyRouting runs the weighted greedy allocator over the aggregated
+// frequencies and converts its scenario-0 shares into per-query routing
+// fractions. Subnode capacities are proportional to the leaf weights, with
+// subnode 0's fair share reduced by the load the clustering queries already
+// pin there. Returns nil if the greedy allocator fails.
+func (sp *subproblem) greedyRouting(freq []float64, flexLoad, fixedAgg float64) map[int][]float64 {
+	b := len(sp.weights)
+	var wsum float64
+	for _, wt := range sp.weights {
+		wsum += wt
+	}
+	total := flexLoad + fixedAgg
+	weights := make([]float64, b)
+	for bb := 0; bb < b; bb++ {
+		weights[bb] = sp.weights[bb] / wsum * total
+	}
+	weights[0] = math.Max(weights[0]-fixedAgg, 1e-6*total)
+	alloc, err := greedy.AllocateWeighted(sp.w, freq, weights)
+	if err != nil {
+		return nil
+	}
+	routing := make(map[int][]float64, len(sp.flexQ))
+	for _, j := range sp.flexQ {
+		if freq[j] <= 0 {
+			continue
+		}
+		r := append([]float64(nil), alloc.Shares[0][j]...)
+		var sum float64
+		for _, v := range r {
+			sum += v
+		}
+		if sum <= 0 {
+			return nil // greedy dropped a loaded query; use the fallback
+		}
+		for bb := range r {
+			r[bb] /= sum
+		}
+		routing[j] = r
+	}
+	return routing
+}
+
+// fallbackRouting is the last-resort assignment when even the greedy
+// allocator fails: every loaded query goes wholly to the subnode whose
+// projected relative load is smallest — heaviest queries first, ties on the
+// lowest query ID and then the lowest subnode, so the result is
+// deterministic.
+func (sp *subproblem) fallbackRouting(queryLoad []float64, fixedAgg float64) map[int][]float64 {
+	b := len(sp.weights)
+	order := append([]int(nil), sp.flexQ...)
+	sort.SliceStable(order, func(a, c int) bool {
+		//fragvet:ignore floatcmp — sort comparator: the exact != keeps the ordering antisymmetric and transitive; a tolerance would not
+		if queryLoad[order[a]] != queryLoad[order[c]] {
+			return queryLoad[order[a]] > queryLoad[order[c]]
+		}
+		return order[a] < order[c]
+	})
+	load := make([]float64, b)
+	load[0] = fixedAgg
+	routing := make(map[int][]float64, len(order))
+	for _, j := range order {
+		if queryLoad[j] <= 0 {
+			continue
+		}
+		best := 0
+		for bb := 1; bb < b; bb++ {
+			if (load[bb]+queryLoad[j])/sp.weights[bb] < (load[best]+queryLoad[j])/sp.weights[best] {
+				best = bb
+			}
+		}
+		load[best] += queryLoad[j]
+		r := make([]float64, b)
+		r[best] = 1
+		routing[j] = r
+	}
+	return routing
+}
+
+// worstLoad computes the solution's worst normalized subnode load over all
+// scenarios — the value the MIP's L variable would take for this routing.
+func (sp *subproblem) worstLoad(sol *solution) float64 {
+	b := len(sp.weights)
+	var worst float64
+	for s := 0; s < sp.ss.S(); s++ {
+		for bb := 0; bb < b; bb++ {
+			var load float64
+			for _, j := range sp.flexQ {
+				zs, ok := sol.z[[2]int{j, s}]
+				if !ok || zs[bb] == 0 {
+					continue
+				}
+				load += zs[bb] * sp.ss.Frequencies[s][j] * sp.w.Queries[j].Cost / sp.costs[s]
+			}
+			if bb == 0 && sp.hasFixed {
+				load += sp.fixedLoad(s)
+			}
+			worst = math.Max(worst, load/sp.weights[bb])
+		}
+	}
+	return worst
+}

@@ -396,9 +396,9 @@ func (sp *subproblem) canonicalize(out []float64, ix *indices, classes [][]int, 
 // after every row. The result is an integral y proposal of far higher
 // quality than one-shot rounding; it seeds the branch and bound as its
 // first incumbent (mip.Options.Start).
-func (sp *subproblem) dive(ix *indices) []float64 {
+func (sp *subproblem) dive(ix *indices, lp simplex.Options) []float64 {
 	p, _, _ := sp.build(false)
-	s, err := simplex.NewSolver(p, simplex.Options{})
+	s, err := simplex.NewSolver(p, lp)
 	if err != nil {
 		return nil
 	}
@@ -471,6 +471,11 @@ type solution struct {
 	nodes  int
 	exact  bool
 	status mip.Status
+	// outcome classifies the solve for the failure policy; extraBytes is
+	// nonzero only for degraded solutions (allocated bytes beyond the
+	// single-copy floor, feeding Result.DegradedDelta).
+	outcome    Outcome
+	extraBytes float64
 }
 
 // solve builds and solves the subproblem MIP. Each non-nil hint proposes an
@@ -480,7 +485,7 @@ func (sp *subproblem) solve(opt mip.Options, hints ...map[int][]bool) (*solution
 	p, ix, intVars := sp.build(true)
 	opt.Rounding = sp.rounding(ix)
 	if !sp.ablation.NoDive {
-		if start := sp.dive(ix); start != nil {
+		if start := sp.dive(ix, opt.LP); start != nil {
 			opt.Starts = append(opt.Starts, start)
 		}
 	}
@@ -503,7 +508,7 @@ func (sp *subproblem) solve(opt mip.Options, hints ...map[int][]bool) (*solution
 		}
 		opt.Starts = append(opt.Starts, prop)
 	}
-	tr, trErr := sp.newTrimmer(ix)
+	tr, trErr := sp.newTrimmer(ix, opt.LP)
 	if sp.ablation.NoTrim {
 		trErr = fmt.Errorf("trim disabled")
 	}
@@ -538,14 +543,14 @@ func (sp *subproblem) solve(opt mip.Options, hints ...map[int][]bool) (*solution
 	}
 	res, err := mip.Solve(p, intVars, opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: subproblem MIP: %v (%w)", err, errSolverFailure)
 	}
 	switch res.Status {
 	case mip.StatusOptimal, mip.StatusFeasible:
 	case mip.StatusInfeasible:
-		return nil, fmt.Errorf("core: subproblem MIP infeasible (this indicates an internal modeling bug)")
+		return nil, fmt.Errorf("core: subproblem MIP infeasible (this indicates an internal modeling bug): %w", ErrInfeasible)
 	default:
-		return nil, fmt.Errorf("core: subproblem MIP ended with status %v and no incumbent; increase the time or node budget", res.Status)
+		return nil, fmt.Errorf("core: subproblem MIP ended with status %v and no incumbent (%w); increase the time or node budget", res.Status, errSolverFailure)
 	}
 	// Local-search pass: compress the incumbent's coverage before decoding.
 	// (A proven-optimal incumbent yields no removals; budget-terminated
@@ -570,6 +575,11 @@ func (sp *subproblem) decode(ix *indices, res *mip.Result) *solution {
 		nodes:  res.Nodes,
 		exact:  res.Exact && res.Status == mip.StatusOptimal,
 		status: res.Status,
+	}
+	if res.Status == mip.StatusOptimal {
+		sol.outcome = OutcomeOptimal
+	} else {
+		sol.outcome = OutcomeFeasible
 	}
 	need := make([][]bool, b)
 	for bb := range need {

@@ -33,7 +33,7 @@ type trimmer struct {
 // (6) and conservation rows (7) of the subproblem, with the z upper bounds
 // standing in for the linking constraints (5) — they are tightened to 0
 // when a placement is removed.
-func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
+func (sp *subproblem) newTrimmer(ix *indices, lp simplex.Options) (*trimmer, error) {
 	p := &simplex.Problem{}
 	tr := &trimmer{sp: sp, ix: ix, zcol: make(map[[2]int][]int, len(ix.z))}
 	tr.lcol = p.AddVar(0, math.Inf(1), 1)
@@ -99,7 +99,7 @@ func (sp *subproblem) newTrimmer(ix *indices) (*trimmer, error) {
 		p.AddRow(cols, coef, simplex.EQ, sp.shares[s][j])
 	}
 	var err error
-	tr.solver, err = simplex.NewSolver(p, simplex.Options{})
+	tr.solver, err = simplex.NewSolver(p, lp)
 	return tr, err
 }
 

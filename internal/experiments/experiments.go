@@ -60,6 +60,11 @@ type Config struct {
 	Out io.Writer
 	// Verbose enables solver progress logging to Out.
 	Verbose bool
+	// Canceled, when non-nil, is polled throughout every solve; once it
+	// returns true, running rows wind down with their best incumbents
+	// (marked by gapMark) instead of losing the run. cmd/paper wires the
+	// -timeout flag and Ctrl-C here.
+	Canceled func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -123,7 +128,7 @@ func ones(w *model.Workload) []float64 {
 // stall rule so easy instances (partial clustering) return quickly while
 // hard ones use the full budget — reproducing the paper's runtime contrast.
 func (c Config) mipOptions() mip.Options {
-	return mip.Options{TimeLimit: c.Budget, RelGap: 1e-6, MaxStallNodes: 150}
+	return mip.Options{TimeLimit: c.Budget, RelGap: 1e-6, MaxStallNodes: 150, Canceled: c.Canceled}
 }
 
 func (c Config) coreLogf() func(string, ...any) {

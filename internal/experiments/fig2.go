@@ -62,7 +62,7 @@ func Fig2(cfg Config, perScenario bool) error {
 		seen := scenario.InSample(w, s, scenario.DefaultP, cfg.Seed)
 		if ours {
 			res, err := core.Allocate(w, seen, table3K, core.Options{
-				Chunks: spec, FixedQueries: 47, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
+				Chunks: spec, FixedQueries: 47, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
 			})
 			if err != nil {
 				return fmt.Errorf("fig2 ours S=%d: %w", s, err)

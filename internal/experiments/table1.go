@@ -83,7 +83,7 @@ func Table1(cfg Config) error {
 			return err
 		}
 		res, err := core.Allocate(w, ss, row.k, core.Options{
-			Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
+			Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
 		})
 		if err != nil {
 			return fmt.Errorf("table1 K=%d chunks=%s: %w", row.k, row.chunks, err)

@@ -84,7 +84,7 @@ func Table2(cfg Config) error {
 			return err
 		}
 		res, err := core.Allocate(w, ss, row.k, core.Options{
-			Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
+			Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
 		})
 		if err != nil {
 			return fmt.Errorf("table2 K=%d F=%d: %w", row.k, row.f, err)
@@ -94,7 +94,7 @@ func Table2(cfg Config) error {
 		note := gapMark(res)
 		if withWD {
 			dres, err := core.Allocate(w, ss, row.k, core.Options{
-				Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
+				Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
 			})
 			if err != nil {
 				return err

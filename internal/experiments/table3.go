@@ -99,7 +99,7 @@ func Table3(cfg Config) error {
 		)
 		if row.f >= 0 {
 			res, err := core.Allocate(w, seen, table3K, core.Options{
-				Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf,
+				Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
 			})
 			if err != nil {
 				return fmt.Errorf("table3 S=%d F=%d: %w", row.s, row.f, err)

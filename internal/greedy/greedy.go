@@ -17,6 +17,7 @@ package greedy
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"fragalloc/internal/hungarian"
 	"fragalloc/internal/model"
@@ -50,6 +51,65 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 	if k <= 0 {
 		return nil, fmt.Errorf("greedy: K must be positive, got %d", k)
 	}
+	caps := make([]float64, k)
+	for n := range caps {
+		caps[n] = 1 / float64(k)
+	}
+	// Equal capacities: tie-breaks on absolute load, exactly as the
+	// original unweighted heuristic.
+	return allocateCaps(w, freq, caps,
+		func(load []float64, n, best int) bool { return load[n] < load[best]-capEps },
+		func(load []float64, n, best int) bool { return load[n] < load[best] })
+}
+
+// AllocateWeighted generalizes Allocate to nodes with unequal capacities:
+// node n accepts at most weights[n]/Σweights of the total workload. The
+// decomposition driver's greedy degradation path uses this to respect
+// subnode leaf counts and the capacity already pinned by clustered queries.
+// Equal weights delegate to Allocate, reproducing its results bit for bit.
+func AllocateWeighted(w *model.Workload, freq []float64, weights []float64) (*model.Allocation, error) {
+	k := len(weights)
+	if k == 0 {
+		return nil, fmt.Errorf("greedy: empty weight vector")
+	}
+	var total float64
+	equal := true
+	for n, wt := range weights {
+		if !(wt > 0) || math.IsInf(wt, 1) {
+			return nil, fmt.Errorf("greedy: weight %g of node %d is not a positive finite number", wt, n)
+		}
+		total += wt
+		//fragvet:ignore floatcmp — exact equality only routes the unweighted special case to Allocate; near-equal weights take the general path, which handles them correctly
+		equal = equal && wt == weights[0]
+	}
+	if equal {
+		return Allocate(w, freq, k)
+	}
+	caps := make([]float64, k)
+	for n := range caps {
+		caps[n] = weights[n] / total
+	}
+	// Unequal capacities: tie-breaks on load relative to capacity, so a
+	// small subnode at half fill is "fuller" than a large one at a quarter.
+	return allocateCaps(w, freq, caps,
+		func(load []float64, n, best int) bool {
+			return load[n]/caps[n] < load[best]/caps[best]-capEps
+		},
+		func(load []float64, n, best int) bool {
+			return load[n]/caps[n] < load[best]/caps[best]
+		})
+}
+
+// capEps pads capacity and load comparisons against float dust.
+const capEps = 1e-12
+
+// allocateCaps is the shared greedy loop: caps[n] is the workload fraction
+// node n accepts, tieLess breaks equal-overlap ties toward the less loaded
+// node, and strictLess picks the dust-spreading node when every node is at
+// capacity.
+func allocateCaps(w *model.Workload, freq []float64, caps []float64,
+	tieLess, strictLess func(load []float64, n, best int) bool) (*model.Allocation, error) {
+	k := len(caps)
 	if freq == nil {
 		freq = w.DefaultFrequencies()
 	}
@@ -74,7 +134,6 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 	for j := range routing {
 		routing[j] = make([]float64, k)
 	}
-	capacity := 1 / float64(k)
 	load := make([]float64, k)
 	hasQueries := make([]bool, k)
 	// stored[k][i] marks fragment presence for O(1) overlap computation.
@@ -83,7 +142,7 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 		stored[n] = make([]bool, len(w.Fragments))
 	}
 
-	const eps = 1e-12
+	const eps = capEps
 	for q.Len() > 0 {
 		it := heap.Pop(q).(*item)
 		j := it.query
@@ -93,7 +152,7 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 		// overlap. Ties go to the least-loaded node, then the lowest index.
 		best, bestOverlap := -1, -1.0
 		for n := 0; n < k; n++ {
-			if capacity-load[n] <= eps {
+			if caps[n]-load[n] <= eps {
 				continue
 			}
 			overlap := dataSize[j]
@@ -106,7 +165,7 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 				}
 			}
 			if overlap > bestOverlap+eps ||
-				(overlap > bestOverlap-eps && best >= 0 && load[n] < load[best]-eps) {
+				(overlap > bestOverlap-eps && best >= 0 && tieLess(load, n, best)) {
 				best, bestOverlap = n, overlap
 			}
 		}
@@ -115,7 +174,7 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 			// least-loaded node to keep shares summing to one.
 			best = 0
 			for n := 1; n < k; n++ {
-				if load[n] < load[best] {
+				if strictLess(load, n, best) {
 					best = n
 				}
 			}
@@ -125,7 +184,7 @@ func Allocate(w *model.Workload, freq []float64, k int) (*model.Allocation, erro
 		}
 
 		assign := it.share
-		if room := capacity - load[best]; assign > room+eps {
+		if room := caps[best] - load[best]; assign > room+eps {
 			assign = room
 			// Remainder re-enters the queue with recomputed priority.
 			rem := it.share - assign

@@ -1,0 +1,100 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestWeightedEqualMatchesAllocate: exactly equal weights must reproduce
+// Allocate bit for bit — the decomposition's regression baselines depend on
+// the unweighted path staying untouched.
+func TestWeightedEqualMatchesAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		w := randomWorkload(rng, 5+rng.Intn(25), 2+rng.Intn(35))
+		k := 1 + rng.Intn(6)
+		want, err := Allocate(w, nil, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		weights := make([]float64, k)
+		for n := range weights {
+			weights[n] = 2.5
+		}
+		got, err := AllocateWeighted(w, nil, weights)
+		if err != nil {
+			t.Fatalf("trial %d weighted: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: equal-weight AllocateWeighted differs from Allocate", trial)
+		}
+	}
+}
+
+// TestWeightedCapsRespected: with unequal weights, node n carries at most
+// weights[n]/Σweights of the workload.
+func TestWeightedCapsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		w := randomWorkload(rng, 5+rng.Intn(25), 2+rng.Intn(35))
+		k := 2 + rng.Intn(4)
+		weights := make([]float64, k)
+		var total float64
+		for n := range weights {
+			weights[n] = 0.5 + rng.Float64()*3
+			total += weights[n]
+		}
+		alloc, err := AllocateWeighted(w, nil, weights)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := alloc.Validate(w); err != nil {
+			t.Fatalf("trial %d: invalid allocation: %v", trial, err)
+		}
+		loads := alloc.NodeLoads(w, w.DefaultFrequencies(), 0)
+		var sum float64
+		for n, l := range loads {
+			sum += l
+			if cap := weights[n] / total; l > cap+1e-6 {
+				t.Errorf("trial %d: node %d load %g exceeds weighted capacity %g", trial, n, l, cap)
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("trial %d: total load %g, want 1", trial, sum)
+		}
+	}
+}
+
+func TestWeightedBadInputs(t *testing.T) {
+	w := randomWorkload(rand.New(rand.NewSource(6)), 8, 5)
+	for _, weights := range [][]float64{
+		nil,
+		{},
+		{1, 0},
+		{1, -2},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		if _, err := AllocateWeighted(w, nil, weights); err == nil {
+			t.Errorf("AllocateWeighted(weights=%v): want error", weights)
+		}
+	}
+}
+
+// TestWeightedSkewedPair pins down the qualitative behaviour: a 3:1 weight
+// split must load the heavy node about three times the light one when the
+// workload is divisible enough.
+func TestWeightedSkewedPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := randomWorkload(rng, 20, 60)
+	alloc, err := AllocateWeighted(w, nil, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := alloc.NodeLoads(w, w.DefaultFrequencies(), 0)
+	if loads[0] < 0.70 || loads[0] > 0.76 {
+		t.Errorf("heavy node load %g, want ~0.75", loads[0])
+	}
+}

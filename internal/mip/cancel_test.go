@@ -1,0 +1,125 @@
+package mip
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fragalloc/internal/faultinject"
+	"fragalloc/internal/simplex"
+)
+
+// cancelKnapsack builds a 30-item random knapsack whose branch and bound
+// explores enough nodes to observe mid-search cancellation.
+func cancelKnapsack(seed int64) (*simplex.Problem, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &simplex.Problem{}
+	var idx []int
+	var wts []float64
+	for j := 0; j < 30; j++ {
+		idx = append(idx, p.AddVar(0, 1, -(1+rng.Float64())))
+		wts = append(wts, 1+rng.Float64())
+	}
+	p.AddRow(idx, wts, simplex.LE, 7.5)
+	return p, idx
+}
+
+// TestCanceledImmediately: a hook that fires before the root relaxation
+// must yield a clean no-solution result, never an error.
+func TestCanceledImmediately(t *testing.T) {
+	p, idx := cancelKnapsack(5)
+	res, err := Solve(p, idx, Options{Canceled: func() bool { return true }})
+	if err != nil {
+		t.Fatalf("canceled solve returned error: %v", err)
+	}
+	if res.Status != StatusNoSolution {
+		t.Errorf("status = %v, want no-solution when canceled before the root", res.Status)
+	}
+}
+
+// TestCanceledMidSearch cancels after a fixed number of LP-iteration polls:
+// the search must stop with either its best incumbent (plus a valid bound)
+// or a clean no-solution, for every cancellation point.
+func TestCanceledMidSearch(t *testing.T) {
+	for _, after := range []int{1, 10, 100, 1000, 5000} {
+		p, idx := cancelKnapsack(5)
+		in := faultinject.New(faultinject.Plan{CancelAfter: after})
+		res, err := Solve(p, idx, Options{Canceled: in.Canceled})
+		if err != nil {
+			t.Fatalf("CancelAfter=%d: error %v", after, err)
+		}
+		switch res.Status {
+		case StatusFeasible, StatusOptimal:
+			if res.Bound > res.Obj+1e-9 {
+				t.Errorf("CancelAfter=%d: bound %g exceeds incumbent %g", after, res.Bound, res.Obj)
+			}
+			if res.X == nil {
+				t.Errorf("CancelAfter=%d: incumbent status without a solution vector", after)
+			}
+		case StatusNoSolution:
+		default:
+			t.Errorf("CancelAfter=%d: status = %v", after, res.Status)
+		}
+	}
+}
+
+// TestDeadlineInsideLongLP: regression for time checks living only at node
+// boundaries. The root LP here is large enough to run many simplex
+// iterations; an already-expired deadline must be detected inside that
+// first LP solve (the chunked wall-clock poll fires within a bounded number
+// of iterations) rather than only after the root completes.
+func TestDeadlineInsideLongLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := &simplex.Problem{}
+	n, m := 150, 120
+	var idx []int
+	for j := 0; j < n; j++ {
+		idx = append(idx, p.AddVar(0, 1, -rng.Float64()))
+	}
+	for r := 0; r < m; r++ {
+		coef := make([]float64, n)
+		for j := range coef {
+			coef[j] = rng.Float64()
+		}
+		p.AddRow(idx, coef, simplex.LE, float64(n)/8)
+	}
+	start := time.Now()
+	res, err := Solve(p, idx, Options{TimeLimit: time.Nanosecond})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusNoSolution && res.Status != StatusFeasible && res.Status != StatusOptimal {
+		t.Errorf("status = %v", res.Status)
+	}
+	// The root LP alone takes far longer than the deadline; the in-LP poll
+	// must cut it off long before a full solve would finish.
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline overshoot: solve took %v with a 1ns limit", elapsed)
+	}
+}
+
+// TestCancellationPreservesIncumbent first lets the search find an
+// incumbent, then cancels; the result must carry that incumbent.
+func TestCancellationPreservesIncumbent(t *testing.T) {
+	p, idx := cancelKnapsack(5)
+	// Solve once untouched to learn the optimum.
+	full, err := Solve(p, idx, Options{})
+	if err != nil || full.Status != StatusOptimal {
+		t.Fatalf("reference solve: %v / %v", err, full.Status)
+	}
+	// Large CancelAfter: the root and several nodes complete first.
+	in := faultinject.New(faultinject.Plan{CancelAfter: 20000})
+	res, err := Solve(p, idx, Options{Canceled: in.Canceled})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status == StatusFeasible || res.Status == StatusOptimal {
+		if res.Obj < full.Obj-1e-6 {
+			t.Errorf("canceled incumbent %g better than the true optimum %g — invalid", res.Obj, full.Obj)
+		}
+		if res.Bound > res.Obj+1e-9 {
+			t.Errorf("bound %g exceeds incumbent %g", res.Bound, res.Obj)
+		}
+	}
+}

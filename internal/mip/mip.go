@@ -138,8 +138,17 @@ type Options struct {
 	// incumbent. Callers use this to inject solutions from domain-specific
 	// primal heuristics.
 	Starts [][]float64
-	// LP passes options through to the simplex solver.
+	// LP passes options through to the simplex solver. When TimeLimit or
+	// Canceled is set, Solve chains its own stop hook onto LP.Canceled so
+	// expiry and cancellation are detected inside every inner simplex solve,
+	// within a bounded number of iterations — not just at node boundaries.
 	LP simplex.Options
+	// Canceled, when non-nil, is polled throughout the search (at node
+	// boundaries and inside every inner LP solve). Once it returns true the
+	// search stops and returns the best incumbent with its proven bound
+	// (StatusFeasible), or StatusNoSolution when none was found yet — never
+	// an error.
+	Canceled func() bool
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -208,12 +217,52 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 		exact:        true,
 		skippedBound: math.Inf(1),
 	}
+	if opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opt.TimeLimit)
+	}
+	// Chain the search's stop conditions into the LP options before any
+	// simplex solver is built (s.lp here, s.heur lazily), so a deadline or a
+	// caller cancellation interrupts even a single long LP solve.
+	s.opt.LP.Canceled = s.lpStopHook(s.opt.LP.Canceled)
 	var err error
-	s.lp, err = simplex.NewSolver(p, opt.LP)
+	s.lp, err = simplex.NewSolver(p, s.opt.LP)
 	if err != nil {
 		return nil, err
 	}
 	return s.run()
+}
+
+// lpStopHook builds the cancellation hook threaded into every inner simplex
+// solve: any caller-provided hooks are consulted on every poll, and the
+// wall-clock deadline every pollEvery-th poll, so a TimeLimit expiry is
+// detected within a bounded number of simplex iterations even in the middle
+// of one LP solve. When the search has no stop conditions the caller's hook
+// (possibly nil) is returned unchanged, keeping budget-free solves free of
+// clock reads and bit-identical to earlier versions. The closure is only
+// ever called from the goroutine driving this Solve, so the plain counter
+// is safe.
+func (s *search) lpStopHook(inner func() bool) func() bool {
+	if s.deadline.IsZero() && s.opt.Canceled == nil {
+		return inner
+	}
+	const pollEvery = 32
+	polls := 0
+	return func() bool {
+		if inner != nil && inner() {
+			return true
+		}
+		if s.opt.Canceled != nil && s.opt.Canceled() {
+			return true
+		}
+		if s.deadline.IsZero() {
+			return false
+		}
+		polls++
+		if polls%pollEvery != 0 {
+			return false
+		}
+		return time.Now().After(s.deadline)
+	}
 }
 
 type search struct {
@@ -239,6 +288,13 @@ type search struct {
 
 func (s *search) timedOut() bool {
 	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+}
+
+// stopped reports whether the search should wind down: deadline expiry or
+// caller cancellation. The search then returns its best incumbent and
+// proven bound instead of an error.
+func (s *search) stopped() bool {
+	return s.timedOut() || (s.opt.Canceled != nil && s.opt.Canceled())
 }
 
 func (s *search) logf(format string, args ...any) {
@@ -360,9 +416,6 @@ func (s *search) result(status Status, bound float64) *Result {
 }
 
 func (s *search) run() (*Result, error) {
-	if s.opt.TimeLimit > 0 {
-		s.deadline = time.Now().Add(s.opt.TimeLimit)
-	}
 	// Root relaxation.
 	res := s.lp.Solve()
 	s.nodes++
@@ -371,6 +424,10 @@ func (s *search) run() (*Result, error) {
 		return s.result(StatusInfeasible, math.Inf(1)), nil
 	case simplex.StatusUnbounded:
 		return s.result(StatusUnbounded, math.Inf(-1)), nil
+	case simplex.StatusCanceled:
+		// Stopped before any incumbent or proven bound exists: not an
+		// error, just an empty-handed stop.
+		return s.result(StatusNoSolution, math.Inf(-1)), nil
 	case simplex.StatusOptimal:
 	default:
 		return nil, fmt.Errorf("mip: root relaxation failed with status %v", res.Status)
@@ -401,7 +458,7 @@ func (s *search) run() (*Result, error) {
 			return s.result(StatusFeasible, globalBound), nil
 		}
 		stalled := s.opt.MaxStallNodes > 0 && s.hasInc && s.nodes-s.lastImprove > s.opt.MaxStallNodes
-		if s.timedOut() || s.nodes >= s.opt.MaxNodes || stalled {
+		if s.stopped() || s.nodes >= s.opt.MaxNodes || stalled {
 			if s.hasInc {
 				return s.result(StatusFeasible, globalBound), nil
 			}
@@ -438,10 +495,16 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 	for {
 		res := s.lp.ReSolveDual()
 		s.nodes++
-		if res.Status != simplex.StatusOptimal && res.Status != simplex.StatusInfeasible {
+		if res.Status != simplex.StatusOptimal && res.Status != simplex.StatusInfeasible && res.Status != simplex.StatusCanceled {
 			// Numerical trouble or iteration limit: retry from a fresh
 			// basis before giving up on the subtree.
 			res = s.lp.Solve()
+		}
+		if res.Status == simplex.StatusCanceled {
+			// The node is unexplored, not failed: push it back so its bound
+			// stays visible to run(), which will wind the search down.
+			heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound})
+			return
 		}
 		if res.Status == simplex.StatusInfeasible {
 			return
@@ -459,6 +522,10 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 		s.logf("mip: node %d depth %d obj=%.6f iters=%d", s.nodes, len(nd.path), res.Obj, res.Iters)
 		if debugVerifyNodes {
 			cold := s.lp.Solve()
+			if cold.Status == simplex.StatusCanceled {
+				heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound})
+				return
+			}
 			if cold.Status != res.Status || (res.Status == simplex.StatusOptimal && math.Abs(cold.Obj-res.Obj) > 1e-4*(1+math.Abs(cold.Obj))) {
 				s.logf("mip: NODE MISMATCH warm %v %.6f vs cold %v %.6f path=%v", res.Status, res.Obj, cold.Status, cold.Obj, nd.path)
 			}
@@ -475,7 +542,7 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 		if s.opt.Rounding != nil && s.nodes%s.opt.RoundingEvery == 0 {
 			s.tryRounding(res.X)
 		}
-		if s.timedOut() || s.nodes >= s.opt.MaxNodes {
+		if s.stopped() || s.nodes >= s.opt.MaxNodes {
 			// Push the node back so its bound stays visible to run().
 			heap.Push(open, &node{path: clonePath(nd.path), bound: bound})
 			return

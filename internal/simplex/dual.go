@@ -98,6 +98,8 @@ func (s *Solver) ReSolveDual() *Result {
 			return &Result{Status: StatusUnbounded, Iters: s.iters}
 		case StatusIterLimit:
 			return &Result{Status: StatusIterLimit, Iters: s.iters}
+		case StatusCanceled:
+			return &Result{Status: StatusCanceled, Iters: s.iters}
 		default:
 			return s.Solve()
 		}
@@ -105,6 +107,8 @@ func (s *Solver) ReSolveDual() *Result {
 		return &Result{Status: StatusInfeasible, Iters: s.iters}
 	case StatusIterLimit:
 		return &Result{Status: StatusIterLimit, Iters: s.iters}
+	case StatusCanceled:
+		return &Result{Status: StatusCanceled, Iters: s.iters}
 	}
 	// Numerical failure (singular refactorization or a stalled dual pass):
 	// a cold two-phase primal solve from a fresh basis is always well
@@ -154,6 +158,12 @@ func (s *Solver) repairDualFeasibility() bool {
 // primal infeasibility (dual unboundedness), or the iteration limit.
 func (s *Solver) runDual() Status {
 	for {
+		if s.interrupted() {
+			return StatusCanceled
+		}
+		if s.opt.Fault != nil && s.opt.Fault.ForceStall() {
+			return StatusUnknown
+		}
 		if s.iters >= s.opt.MaxIters {
 			return StatusIterLimit
 		}

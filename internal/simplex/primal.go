@@ -16,6 +16,12 @@ import "math"
 //  3. pivot and update the product-form basis inverse.
 func (s *Solver) runPrimal(phase1 bool) Status {
 	for {
+		if s.interrupted() {
+			return StatusCanceled
+		}
+		if s.opt.Fault != nil && s.opt.Fault.ForceStall() {
+			return StatusUnknown
+		}
 		if s.iters >= s.opt.MaxIters {
 			return StatusIterLimit
 		}

@@ -143,6 +143,9 @@ const (
 	StatusUnbounded
 	// StatusIterLimit means the iteration limit was hit first.
 	StatusIterLimit
+	// StatusCanceled means Options.Canceled reported cancellation before the
+	// solve reached a conclusion.
+	StatusCanceled
 )
 
 func (s Status) String() string {
@@ -157,6 +160,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusIterLimit:
 		return "iteration-limit"
+	case StatusCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -171,6 +176,50 @@ type Result struct {
 	Obj float64
 	// Iters is the total number of simplex pivots performed (both phases).
 	Iters int
+	// Recovery, when non-nil, records the numerical recovery ladder the
+	// solve had to climb (see Recovery); nil means the first attempt
+	// finished without a restart.
+	Recovery *Recovery
+}
+
+// Recovery is the telemetry of the numerical recovery ladder: when a
+// cold-start solve fails numerically (a singular refactorization or a
+// stalled pass ending in StatusUnknown), Solve restarts from scratch with
+// progressively more conservative settings instead of reporting
+// StatusUnknown outright. Each restart appends one rung name to Rungs.
+type Recovery struct {
+	// Restarts is the number of from-scratch restarts performed.
+	Restarts int
+	// Rungs names the ladder rungs tried, in order.
+	Rungs []string
+}
+
+// Ladder rung names recorded in Recovery.Rungs.
+const (
+	// RungBland restarts the solve with Bland's anti-cycling rule forced
+	// from the first pivot.
+	RungBland = "bland"
+	// RungPerturb restarts with Bland's rule still forced and perturbed
+	// tolerances: a smaller pivot-admission threshold and looser
+	// feasibility/optimality tolerances.
+	RungPerturb = "perturb"
+)
+
+// FaultInjector forces numerical failures at chosen points of a solve so
+// tests can exercise the recovery ladder and the callers' degradation
+// paths deterministically (see package faultinject). Production solves
+// leave Options.Fault nil. Implementations must be safe for concurrent
+// use: the MIP solver copies its LP options — injector included — into
+// helper solvers, and the decomposition driver shares one Options value
+// across parallel subproblem solves.
+type FaultInjector interface {
+	// FailRefactor is consulted by every basis refactorization; returning
+	// true makes the refactorization fail as if the basis were singular.
+	FailRefactor() bool
+	// ForceStall is consulted once per simplex iteration; returning true
+	// aborts the pass as a numerical failure (StatusUnknown), which sends
+	// Solve to its recovery ladder.
+	ForceStall() bool
 }
 
 // Options tune the solver. The zero value selects the defaults below.
@@ -193,6 +242,14 @@ type Options struct {
 	// allocation LPs, that is exactly what the paper's partial clustering
 	// is for.
 	MaxDenseRows int
+	// Canceled, when non-nil, is polled once per simplex iteration; as soon
+	// as it returns true the solve stops and reports StatusCanceled. The
+	// hook must be cheap — it sits on the pivot loop — and is only ever
+	// called from the goroutine driving the solve.
+	Canceled func() bool
+	// Fault, when non-nil, injects numerical failures at deterministic
+	// points (see FaultInjector). Nil in production.
+	Fault FaultInjector
 }
 
 func (o Options) withDefaults(m, n int) Options {

@@ -43,9 +43,10 @@ type Solver struct {
 	binv     [][]float64 // dense m×m basis inverse
 	updates  int         // product-form updates since last refactorization
 
-	iters int
-	bland bool // anti-cycling mode
-	stall int  // consecutive degenerate pivots
+	iters      int
+	bland      bool // anti-cycling mode
+	stall      int  // consecutive degenerate pivots
+	forceBland bool // recovery ladder: start every pass in Bland's rule
 
 	// scratch buffers
 	y, w, rho, tmpRHS []float64
@@ -313,10 +314,18 @@ func (s *Solver) computeXB() {
 	}
 }
 
+// interrupted reports whether the caller's cancellation hook has fired.
+func (s *Solver) interrupted() bool {
+	return s.opt.Canceled != nil && s.opt.Canceled()
+}
+
 // refactor recomputes the basis inverse from scratch by Gauss-Jordan
 // elimination with partial pivoting. It returns an error if the basis
 // matrix is numerically singular.
 func (s *Solver) refactor() error {
+	if s.opt.Fault != nil && s.opt.Fault.FailRefactor() {
+		return fmt.Errorf("simplex: injected refactorization failure")
+	}
 	m := s.m
 	// Build dense B.
 	b := make([][]float64, m)
@@ -453,10 +462,42 @@ func (s *Solver) trueObjective() float64 {
 }
 
 // Solve runs the two-phase primal simplex from a fresh slack/artificial
-// basis and returns the result.
+// basis and returns the result. When an attempt fails numerically
+// (StatusUnknown from a singular refactorization or a stalled pass) it
+// climbs a recovery ladder instead of giving up: restart with Bland's
+// rule forced from the first pivot, then restart again with perturbed
+// tolerances. Each restart is recorded in Result.Recovery; only if every
+// rung fails does the caller see StatusUnknown.
 func (s *Solver) Solve() *Result {
+	res := s.solveAttempt()
+	if res.Status != StatusUnknown {
+		return res
+	}
+	rec := &Recovery{}
+	restart := func(rung string) *Result {
+		rec.Restarts++
+		rec.Rungs = append(rec.Rungs, rung)
+		return s.solveAttempt()
+	}
+	s.forceBland = true
+	res = restart(RungBland)
+	if res.Status == StatusUnknown {
+		saved := s.opt
+		s.opt.PivotTol *= 1e-2
+		s.opt.FeasTol *= 100
+		s.opt.OptTol *= 100
+		res = restart(RungPerturb)
+		s.opt = saved
+	}
+	s.forceBland = false
+	res.Recovery = rec
+	return res
+}
+
+// solveAttempt is one cold-start two-phase primal pass.
+func (s *Solver) solveAttempt() *Result {
 	s.iters = 0
-	s.bland = false
+	s.bland = s.forceBland
 	s.stall = 0
 	nart := s.initBasis()
 	if nart > 0 {
@@ -467,8 +508,8 @@ func (s *Solver) Solve() *Result {
 		}
 		res := s.runPrimal(true)
 		if res != StatusOptimal {
-			if res == StatusIterLimit {
-				return &Result{Status: StatusIterLimit, Iters: s.iters}
+			if res == StatusIterLimit || res == StatusCanceled {
+				return &Result{Status: res, Iters: s.iters}
 			}
 			// Phase 1 is bounded below by 0, so non-optimal here means
 			// numerical failure; report as unknown.
@@ -487,7 +528,7 @@ func (s *Solver) Solve() *Result {
 	// Phase 2: true objective.
 	s.pcost = make([]float64, s.ncols)
 	copy(s.pcost, s.cost)
-	s.bland = false
+	s.bland = s.forceBland
 	s.stall = 0
 	res := s.runPrimal(false)
 	switch res {
@@ -497,6 +538,8 @@ func (s *Solver) Solve() *Result {
 		return &Result{Status: StatusUnbounded, Iters: s.iters}
 	case StatusIterLimit:
 		return &Result{Status: StatusIterLimit, Iters: s.iters}
+	case StatusCanceled:
+		return &Result{Status: StatusCanceled, Iters: s.iters}
 	}
 	return &Result{Status: StatusUnknown, Iters: s.iters}
 }
