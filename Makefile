@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race fault bench
+.PHONY: check fmt-check vet fragvet build test race fault bench benchcompile bench-paper
 
-check: fmt-check vet fragvet build fault race
+check: fmt-check vet fragvet build benchcompile fault race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -39,5 +39,19 @@ fault:
 	$(GO) test -race -run 'Recovery|Cancel|Degraded|Retry|Fault|Seeded' \
 		./internal/simplex ./internal/mip ./internal/core ./internal/faultinject
 
+# Bench-rot guard: run every benchmark in the repo exactly once so a
+# benchmark that no longer compiles or crashes fails `make check`. -short
+# skips the dense-baseline kernel variants that take minutes by design.
+benchcompile:
+	$(GO) test -run NONE -bench . -benchtime 1x -short ./...
+
+# Simplex kernel benchmarks (lu vs the retired dense baseline), recorded as
+# BENCH_simplex.json with derived speedup/memory ratios (cmd/benchjson).
+# The dense variants at the largest sizes take a minute or two each.
 bench:
+	$(GO) test -run NONE -bench . -benchmem ./internal/simplex \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_simplex.json
+
+# Paper-scale table/figure benchmarks (the pre-existing root suite).
+bench-paper:
 	$(GO) test -bench . -benchmem -run NONE .

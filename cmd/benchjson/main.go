@@ -1,0 +1,191 @@
+// Command benchjson converts `go test -bench -benchmem` text output (read
+// from stdin) into a JSON artifact, pairing kern=lu/kern=dense benchmark
+// variants into derived speedup and memory ratios. `make bench` uses it to
+// produce BENCH_simplex.json, the recorded evidence for the sparse-kernel
+// performance claims in DESIGN.md §3.8.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem ./internal/simplex | benchjson -o BENCH_simplex.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Derived compares the kern=lu and kern=dense variants of one benchmark.
+type Derived struct {
+	Benchmark string `json:"benchmark"`
+	// SpeedupLU is dense ns/op divided by LU ns/op (>1 means LU is faster).
+	SpeedupLU float64 `json:"speedup_lu_vs_dense"`
+	// MemRatio is dense B/op divided by LU B/op (>1 means LU is smaller).
+	MemRatio float64 `json:"memory_ratio_dense_vs_lu,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	CPU        string      `json:"cpu,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Derived    []Derived   `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	rep.Derived = derive(rep.Benchmarks)
+	return rep, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	iters, err1 := strconv.Atoi(f[1])
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iters: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// derive pairs */kern=lu with */kern=dense results.
+func derive(bs []Benchmark) []Derived {
+	type pair struct{ lu, dense *Benchmark }
+	pairs := map[string]*pair{}
+	for i := range bs {
+		b := &bs[i]
+		var base string
+		var isLU bool
+		switch {
+		case strings.Contains(b.Name, "kern=lu"):
+			base, isLU = strings.ReplaceAll(b.Name, "/kern=lu", ""), true
+		case strings.Contains(b.Name, "kern=dense"):
+			base = strings.ReplaceAll(b.Name, "/kern=dense", "")
+		default:
+			continue
+		}
+		p := pairs[base]
+		if p == nil {
+			p = &pair{}
+			pairs[base] = p
+		}
+		if isLU {
+			p.lu = b
+		} else {
+			p.dense = b
+		}
+	}
+	var names []string
+	for name, p := range pairs {
+		if p.lu != nil && p.dense != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []Derived
+	for _, name := range names {
+		p := pairs[name]
+		d := Derived{Benchmark: name, SpeedupLU: round2(p.dense.NsPerOp / p.lu.NsPerOp)}
+		if p.lu.BytesPerOp > 0 && p.dense.BytesPerOp > 0 {
+			d.MemRatio = round2(float64(p.dense.BytesPerOp) / float64(p.lu.BytesPerOp))
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

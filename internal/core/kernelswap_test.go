@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fragalloc/internal/accounting"
+	"fragalloc/internal/mip"
+	"fragalloc/internal/model"
+	"fragalloc/internal/scenario"
+	"fragalloc/internal/simplex"
+)
+
+// accountingSubset mirrors tpcdsSubset for the accounting workload.
+func accountingSubset(maxQ int) *model.Workload {
+	w := accounting.Workload().Clone()
+	sort.SliceStable(w.Queries, func(a, b int) bool { return w.Queries[a].Cost > w.Queries[b].Cost })
+	w.Queries = w.Queries[:maxQ]
+	sort.SliceStable(w.Queries, func(a, b int) bool { return w.Queries[a].ID < w.Queries[b].ID })
+	for j := range w.Queries {
+		w.Queries[j].ID = j
+	}
+	w.Name += fmt.Sprintf("-top%d", maxQ)
+	return w
+}
+
+// kernelGap is the per-subproblem relative optimality gap the regression
+// runs use. The default 1e-6 gap makes the branch-and-bound grind for
+// minutes on these rows; a looser certified gap keeps the test fast while
+// still bounding how far each kernel's objective can sit from the true
+// optimum (see the tolerance derivation in TestKernelSwapRegression).
+const kernelGap = 1e-3
+
+// TestKernelSwapRegression pins the full allocation pipeline across the
+// basis-kernel swap, on one row of each paper workload:
+//
+//  1. the production (sparse LU) pipeline run twice must be bit-identical —
+//     the kernel is deterministic, so the PR 1 reproducibility guarantee
+//     survives the swap unchanged; and
+//  2. the LU pipeline against the retired dense-inverse baseline
+//     (Options.MIP.LP.DenseBaseline) must agree on the certified
+//     objectives. The kernels follow different floating-point paths, so
+//     their branch-and-bound searches visit different vertices and may
+//     return different optimal *placements*; the invariant across the swap
+//     is the objective. Both runs solve every subproblem to proven
+//     optimality within kernelGap, so each W sits within kernelGap
+//     (relative) of the true optimum and the two can differ by at most
+//     2*kernelGap.
+func TestKernelSwapRegression(t *testing.T) {
+	cases := []struct {
+		name string
+		w    *model.Workload
+	}{
+		{"accounting", accountingSubset(16)},
+		{"tpcds", tpcdsSubset(16)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seen := scenario.InSample(c.w, 2, scenario.DefaultP, 1)
+			spec, err := ParseChunks("2+2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := func(dense bool) Options {
+				return Options{
+					Chunks:      spec,
+					Parallelism: 2,
+					MIP: mip.Options{
+						RelGap: kernelGap,
+						LP:     simplex.Options{DenseBaseline: dense},
+					},
+				}
+			}
+			lu1, err := Allocate(c.w, seen, 4, opts(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lu2, err := Allocate(c.w, seen, 4, opts(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lu1.W != lu2.W || lu1.V != lu2.V {
+				t.Errorf("LU pipeline not reproducible: W %v vs %v, V %v vs %v", lu1.W, lu2.W, lu1.V, lu2.V)
+			}
+			if !reflect.DeepEqual(lu1.Allocation.Fragments, lu2.Allocation.Fragments) {
+				t.Error("LU pipeline not reproducible: fragment placement differs between runs")
+			}
+			if !reflect.DeepEqual(lu1.Allocation.Shares, lu2.Allocation.Shares) {
+				t.Error("LU pipeline not reproducible: routing shares differ between runs")
+			}
+
+			dense, err := Allocate(c.w, seen, 4, opts(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lu1.Exact || !dense.Exact {
+				t.Fatalf("objective comparison needs proven optima: LU exact=%v gap=%g, dense exact=%v gap=%g",
+					lu1.Exact, lu1.MaxGap, dense.Exact, dense.MaxGap)
+			}
+			// Each kernel's objective is within kernelGap (relative) of the
+			// true optimum, so the two agree to 2*kernelGap; pad slightly
+			// for the max(1,·) scaling inside the MIP's gap test.
+			tol := 2.5 * kernelGap
+			if d := relDiff(lu1.W, dense.W); d > tol {
+				t.Errorf("W: LU %v vs dense baseline %v (rel diff %g)", lu1.W, dense.W, d)
+			}
+			if d := relDiff(lu1.V, dense.V); d > tol {
+				t.Errorf("V: LU %v vs dense baseline %v (rel diff %g)", lu1.V, dense.V, d)
+			}
+		})
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	return d / scale
+}

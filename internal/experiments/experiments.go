@@ -42,8 +42,8 @@ type Config struct {
 	// Budget is the MIP time budget per subproblem (default 15 s).
 	Budget time.Duration
 	// MaxQ truncates the accounting workload to its heaviest MaxQ queries
-	// for the LP-based approaches of Table 1b, whose full-Q LPs exceed the
-	// dense-simplex limits (default 300; ignored for TPC-DS).
+	// for the LP-based approaches of Table 1b, whose full-Q LPs exceed
+	// practical solve budgets (default 300; ignored for TPC-DS).
 	MaxQ int
 	// OutOfSample is the number of unseen verification scenarios S̃ for
 	// Table 3 and Figure 2 (default 30, paper: 100).

@@ -1,7 +1,11 @@
 // Package mip solves mixed binary-integer linear programs by LP-based
 // branch and bound, using the bounded-variable simplex of package simplex
 // for the relaxations and warm-started dual re-solves when exploring the
-// tree.
+// tree. The warm starts lean on the simplex solver's sparse LU basis
+// kernel: a SetBound call invalidates neither the factorization nor the
+// eta file, so a node re-solve costs a few dual pivots at the sparse
+// factorization's fill — not the O(m²)-per-pivot of the retired dense
+// inverse — which is what makes deep trees affordable on large models.
 //
 // The solver is built for the fragment-allocation MIPs of the reproduced
 // paper: minimization problems whose integer variables are binaries (the
@@ -92,6 +96,14 @@ type Result struct {
 	Gap float64
 	// Nodes is the number of branch-and-bound nodes solved.
 	Nodes int
+	// LPIters is the total number of simplex pivots across every LP the
+	// search ran: the root relaxation, warm-started node re-solves, cold
+	// retries after numerical trouble, and heuristic completion solves.
+	// Nodes/LPIters together show how well the warm-start contract is
+	// working: a healthy search spends a handful of dual pivots per node
+	// because the basis factorization and eta file carry over across
+	// SetBound calls.
+	LPIters int
 	// Exact is false if any node LP failed numerically and was skipped, in
 	// which case Bound is best-effort rather than proven.
 	Exact bool
@@ -276,6 +288,7 @@ type search struct {
 	incObj      float64
 	hasInc      bool
 	nodes       int
+	lpIters     int // simplex pivots across all inner LP solves
 	lastImprove int // node count at the last incumbent improvement
 	exact       bool
 	// skippedBound is the smallest inherited LP bound over the subtrees
@@ -368,6 +381,7 @@ func (s *search) tryProposal(proposal []float64) {
 		s.heur.SetBound(j, v, v)
 	}
 	res := s.heur.ReSolveDual()
+	s.lpIters += res.Iters
 	if res.Status != simplex.StatusOptimal {
 		return
 	}
@@ -402,7 +416,7 @@ func (s *search) gapClosed(bound float64) bool {
 }
 
 func (s *search) result(status Status, bound float64) *Result {
-	r := &Result{Status: status, Nodes: s.nodes, Bound: bound, Exact: s.exact}
+	r := &Result{Status: status, Nodes: s.nodes, LPIters: s.lpIters, Bound: bound, Exact: s.exact}
 	if s.hasInc {
 		r.X = s.incumbent
 		r.Obj = s.incObj
@@ -419,6 +433,7 @@ func (s *search) run() (*Result, error) {
 	// Root relaxation.
 	res := s.lp.Solve()
 	s.nodes++
+	s.lpIters += res.Iters
 	switch res.Status {
 	case simplex.StatusInfeasible:
 		return s.result(StatusInfeasible, math.Inf(1)), nil
@@ -495,10 +510,12 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 	for {
 		res := s.lp.ReSolveDual()
 		s.nodes++
+		s.lpIters += res.Iters
 		if res.Status != simplex.StatusOptimal && res.Status != simplex.StatusInfeasible && res.Status != simplex.StatusCanceled {
 			// Numerical trouble or iteration limit: retry from a fresh
 			// basis before giving up on the subtree.
 			res = s.lp.Solve()
+			s.lpIters += res.Iters
 		}
 		if res.Status == simplex.StatusCanceled {
 			// The node is unexplored, not failed: push it back so its bound
@@ -522,6 +539,7 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 		s.logf("mip: node %d depth %d obj=%.6f iters=%d", s.nodes, len(nd.path), res.Obj, res.Iters)
 		if debugVerifyNodes {
 			cold := s.lp.Solve()
+			s.lpIters += cold.Iters
 			if cold.Status == simplex.StatusCanceled {
 				heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound})
 				return

@@ -35,6 +35,9 @@ func TestKnapsack(t *testing.T) {
 	if res.Gap != 0 {
 		t.Errorf("gap = %g, want 0", res.Gap)
 	}
+	if res.LPIters <= 0 {
+		t.Errorf("LPIters = %d, want > 0 (root relaxation alone pivots)", res.LPIters)
+	}
 }
 
 func TestIntegerInfeasible(t *testing.T) {

@@ -1,0 +1,165 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// denseKernel is the retired dense basis-inverse kernel: an explicit m×m
+// B⁻¹ maintained by in-place product-form updates and rebuilt by
+// Gauss-Jordan elimination with partial pivoting. It survives only behind
+// Options.DenseBaseline so benchmarks and the kernel-swap regression tests
+// can compare the sparse LU kernel against the exact pre-LU behavior; no
+// production caller selects it.
+//
+// All scratch (the Gauss-Jordan working matrix included) is owned by the
+// kernel and reused across calls, so repeated refactorizations allocate
+// nothing after the first.
+type denseKernel struct {
+	m    int
+	binv [][]float64
+	b    [][]float64 // Gauss-Jordan working copy of B, lazily allocated
+	out  []float64   // FTRAN/BTRAN result accumulator
+}
+
+func newDenseKernel(m int) *denseKernel {
+	k := &denseKernel{m: m, binv: make([][]float64, m), out: make([]float64, m)}
+	for r := range k.binv {
+		k.binv[r] = make([]float64, m)
+	}
+	return k
+}
+
+func (k *denseKernel) nnz() int { return k.m * k.m }
+
+func (k *denseKernel) resetUnit(diag []float64) {
+	for r := 0; r < k.m; r++ {
+		row := k.binv[r]
+		for c := range row {
+			row[c] = 0
+		}
+		row[r] = 1 / diag[r]
+	}
+}
+
+func (k *denseKernel) factor(basic []int, cols [][]colEntry, pivotTol float64) error {
+	m := k.m
+	if k.b == nil {
+		k.b = make([][]float64, m)
+		for r := range k.b {
+			k.b[r] = make([]float64, m)
+		}
+	}
+	b := k.b
+	for r := range b {
+		row := b[r]
+		for c := range row {
+			row[c] = 0
+		}
+	}
+	for c, j := range basic {
+		for _, e := range cols[j] {
+			b[e.row][c] = e.val
+		}
+	}
+	inv := k.binv
+	for r := 0; r < m; r++ {
+		row := inv[r]
+		for c := range row {
+			row[c] = 0
+		}
+		row[r] = 1
+	}
+	for c := 0; c < m; c++ {
+		p, best := -1, pivotTol
+		for r := c; r < m; r++ {
+			if a := math.Abs(b[r][c]); a > best {
+				p, best = r, a
+			}
+		}
+		if p < 0 {
+			return fmt.Errorf("simplex: singular basis at column %d", c)
+		}
+		b[c], b[p] = b[p], b[c]
+		inv[c], inv[p] = inv[p], inv[c]
+		piv := 1 / b[c][c]
+		for t := 0; t < m; t++ {
+			b[c][t] *= piv
+			inv[c][t] *= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := b[r][c]
+			if f == 0 {
+				continue
+			}
+			br, bc := b[r], b[c]
+			ir, ic := inv[r], inv[c]
+			for t := 0; t < m; t++ {
+				br[t] -= f * bc[t]
+				ir[t] -= f * ic[t]
+			}
+		}
+	}
+	return nil
+}
+
+func (k *denseKernel) ftran(v []float64) {
+	out := k.out
+	for r := range out {
+		out[r] = 0
+	}
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		for r := 0; r < k.m; r++ {
+			out[r] += k.binv[r][i] * vi
+		}
+	}
+	copy(v, out)
+}
+
+func (k *denseKernel) btran(v []float64) {
+	out := k.out
+	for c := range out {
+		out[c] = 0
+	}
+	for r, vr := range v {
+		if vr == 0 {
+			continue
+		}
+		row := k.binv[r]
+		for c := 0; c < k.m; c++ {
+			out[c] += vr * row[c]
+		}
+	}
+	copy(v, out)
+}
+
+func (k *denseKernel) btranUnit(r int, out []float64) {
+	copy(out, k.binv[r])
+}
+
+func (k *denseKernel) update(r int, w []float64) {
+	piv := 1 / w[r]
+	rowR := k.binv[r]
+	for c := 0; c < k.m; c++ {
+		rowR[c] *= piv
+	}
+	for i := 0; i < k.m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		rowI := k.binv[i]
+		for c := 0; c < k.m; c++ {
+			rowI[c] -= f * rowR[c]
+		}
+	}
+}

@@ -60,14 +60,16 @@ func (s *Solver) ReSolveDual() *Result {
 	// 1 (an infeasible node), pcost still holds the phase-1 artificial
 	// costs, and pricing with those would terminate at arbitrary points.
 	s.pcost = append(s.pcost[:0], s.cost...)
-	// The basis inverse stays valid across bound changes (the basis itself
-	// is untouched), so refactorize only on accumulated update drift.
+	// The basis factorization stays valid across bound changes (the basis
+	// itself is untouched), so refactorize only on accumulated update
+	// drift. xB is not recomputed here: repairDualFeasibility does it after
+	// settling the nonbasic statuses, and a failed repair discards the
+	// state in a cold restart anyway.
 	if s.updates >= s.opt.RefactorEvery/2 {
 		if err := s.refactor(); err != nil {
 			return s.Solve() // basis unusable; cold restart
 		}
 	}
-	s.computeXB()
 	if !s.repairDualFeasibility() {
 		// A nonbasic variable with an infinite opposite bound has a
 		// wrong-signed reduced cost; the dual start is invalid. Restart.

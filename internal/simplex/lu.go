@@ -1,0 +1,489 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// basisKernel maintains a factorized representation of the m×m basis matrix
+// B. The simplex driver (solver.go, primal.go, dual.go) is written entirely
+// against this interface; the production implementation is the sparse LU
+// kernel below, and dense.go keeps the retired dense inverse as a pluggable
+// baseline for benchmarks and regression comparison.
+//
+// Vector indexing convention: FTRAN maps a right-hand side indexed by
+// constraint row to a result indexed by basis position (column c of B is the
+// column basic in row position c), BTRAN maps the other way. Both operate in
+// place on caller-owned scratch; the kernel never retains a caller slice.
+type basisKernel interface {
+	// resetUnit installs the initial signed-unit basis: position r holds a
+	// column whose single entry is diag[r] in row r. diag is copied.
+	resetUnit(diag []float64)
+	// factor rebuilds the factorization from scratch for the basis described
+	// by basic and cols (cols[basic[c]] is the column at position c). It
+	// fails on a numerically singular basis (no pivot above pivotTol in some
+	// column) or when the factorization would exceed the nonzero budget.
+	factor(basic []int, cols [][]colEntry, pivotTol float64) error
+	// ftran solves B·w = v in place: on entry v is indexed by constraint
+	// row, on exit by basis position.
+	ftran(v []float64)
+	// btran solves Bᵀ·y = v in place: on entry v is indexed by basis
+	// position, on exit by constraint row.
+	btran(v []float64)
+	// btranUnit computes row r of B⁻¹ into out (out is fully overwritten).
+	btranUnit(r int, out []float64)
+	// update absorbs a pivot replacing the basic variable of position r,
+	// where w = B⁻¹·a_enter is the FTRAN result of the entering column.
+	// w is read only; its nonzeros are copied into the eta file.
+	update(r int, w []float64)
+	// nnz reports the current factorization size (L+U+eta entries), the
+	// quantity bounded by Options.MaxFactorNonzeros.
+	nnz() int
+}
+
+// newBasisKernel builds the kernel for a new Solver: the sparse LU kernel,
+// or the retired dense baseline when opt.DenseBaseline is set.
+func newBasisKernel(m int, opt Options) basisKernel {
+	if opt.DenseBaseline {
+		return newDenseKernel(m)
+	}
+	return newLUKernel(m, opt.MaxFactorNonzeros)
+}
+
+// luThreshold is the relative threshold for partial pivoting: within a
+// column, any candidate whose magnitude is at least luThreshold times the
+// largest candidate is acceptable, and the smallest row index among the
+// acceptable candidates is chosen. The relaxation (vs. strict largest-
+// magnitude pivoting) keeps freedom to preserve sparsity while bounding
+// element growth by 1/luThreshold per elimination step; the smallest-index
+// rule makes the choice deterministic, which PR 1's bit-identical-results
+// guarantee depends on.
+const luThreshold = 0.1
+
+// luKernel is a sparse LU factorization of the basis, maintained across
+// pivots by an eta file (product-form updates stored sparsely).
+//
+// The factorization is left-looking Gilbert–Peierls: columns are eliminated
+// in a static Markowitz-style order (ascending nonzero count, position index
+// as the tie-break — cheapest columns first, which pivots the unit slack
+// columns of LP bases in O(1) each), each column is solved against the
+// partial L by a sparse triangular solve whose access pattern is discovered
+// by depth-first search (so work is proportional to arithmetic, not to m),
+// and the pivot row is chosen by threshold partial pivoting (luThreshold).
+//
+// With row permutation P (rowOf/pinv) and column permutation Q (colOf),
+// L·U = P·B·Q up to ordering: L is unit-lower-triangular in (row, step)
+// indexing with the unit diagonal implicit, U is upper triangular in
+// (step, step) indexing with its diagonal in udiag. FTRAN/BTRAN are the
+// corresponding sparse triangular solves plus the eta file applied in
+// creation order (FTRAN) or reverse (BTRAN).
+//
+// All index arrays are int32: a basis of 2³¹ rows is far beyond the nonzero
+// budget anyway, and halving the index width halves the memory traffic of
+// the triangular solves.
+type luKernel struct {
+	m      int
+	maxNNZ int
+
+	// Permutations. rowOf[k] is the constraint row pivotal at elimination
+	// step k; pinv is its inverse (row → step). colOf[k] is the basis
+	// position eliminated at step k.
+	rowOf []int32
+	pinv  []int32
+	colOf []int32
+
+	// L columns by elimination step, unit diagonal implicit. lrow holds
+	// constraint-row indices.
+	lptr []int32
+	lrow []int32
+	lval []float64
+	// U columns by elimination step; urow holds step indices t < k, the
+	// diagonal lives in udiag.
+	uptr  []int32
+	urow  []int32
+	uval  []float64
+	udiag []float64
+
+	// Eta file: eta e records the FTRAN column w of the entering variable
+	// at pivot position etaPiv[e]. Off-pivot nonzeros (basis-position
+	// indices) live in etaRow/etaVal[etaPtr[e]:etaPtr[e+1]]; the pivot
+	// element w[etaPiv[e]] is etaPivVal[e].
+	etaPtr    []int32
+	etaRow    []int32
+	etaVal    []float64
+	etaPiv    []int32
+	etaPivVal []float64
+
+	// Factorization scratch, reused across calls: x is the dense working
+	// column, pat its nonzero pattern, rmark/vmark stamp visited rows and
+	// steps (stamped with the current elimination step, so no clearing
+	// between columns), stack/pstack drive the iterative DFS, reach holds
+	// the topologically ordered update set, order the column ordering, and
+	// hb the second dense vector of the triangular solves.
+	x      []float64
+	pat    []int32
+	rmark  []int32
+	vmark  []int32
+	stack  []int32
+	pstack []int32
+	reach  []int32
+	order  []int32
+	hb     []float64
+}
+
+func newLUKernel(m, maxNNZ int) *luKernel {
+	return &luKernel{
+		m:      m,
+		maxNNZ: maxNNZ,
+		rowOf:  make([]int32, m),
+		pinv:   make([]int32, m),
+		colOf:  make([]int32, m),
+		lptr:   make([]int32, m+1),
+		uptr:   make([]int32, m+1),
+		udiag:  make([]float64, m),
+		x:      make([]float64, m),
+		pat:    make([]int32, 0, m),
+		rmark:  newStamped(m),
+		vmark:  newStamped(m),
+		stack:  make([]int32, m),
+		pstack: make([]int32, m),
+		reach:  make([]int32, m),
+		order:  make([]int32, m),
+		hb:     make([]float64, m),
+	}
+}
+
+func newStamped(m int) []int32 {
+	s := make([]int32, m)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+func (k *luKernel) nnz() int {
+	return len(k.lval) + len(k.uval) + k.m + len(k.etaVal) + len(k.etaPivVal)
+}
+
+func (k *luKernel) resetUnit(diag []float64) {
+	for i := 0; i < k.m; i++ {
+		k.rowOf[i] = int32(i)
+		k.pinv[i] = int32(i)
+		k.colOf[i] = int32(i)
+		k.lptr[i+1] = 0
+		k.uptr[i+1] = 0
+	}
+	copy(k.udiag, diag)
+	k.lrow, k.lval = k.lrow[:0], k.lval[:0]
+	k.urow, k.uval = k.urow[:0], k.uval[:0]
+	k.clearEtas()
+}
+
+func (k *luKernel) clearEtas() {
+	k.etaPtr = k.etaPtr[:0]
+	k.etaRow, k.etaVal = k.etaRow[:0], k.etaVal[:0]
+	k.etaPiv, k.etaPivVal = k.etaPiv[:0], k.etaPivVal[:0]
+}
+
+// factor runs the left-looking sparse LU elimination described on luKernel.
+func (k *luKernel) factor(basic []int, cols [][]colEntry, pivotTol float64) error {
+	m := k.m
+	k.lrow, k.lval = k.lrow[:0], k.lval[:0]
+	k.urow, k.uval = k.urow[:0], k.uval[:0]
+	k.clearEtas()
+	for i := 0; i < m; i++ {
+		k.pinv[i] = -1
+		k.rmark[i] = -1
+		k.vmark[i] = -1
+	}
+
+	// Static Markowitz-style column order: ascending nonzero count via a
+	// counting sort (deterministic: positions stay in ascending order
+	// within a bucket). LP basis columns have ≤ m nonzeros.
+	counts := k.reach // borrow scratch: reach is rebuilt per column below
+	for c := 0; c < m; c++ {
+		counts[c] = 0
+	}
+	for c := 0; c < m; c++ {
+		n := len(cols[basic[c]])
+		if n >= m {
+			n = m - 1
+		}
+		counts[n]++
+	}
+	// Prefix sums into bucket offsets, reusing pstack as the offset table.
+	off := k.pstack
+	sum := int32(0)
+	for n := 0; n < m; n++ {
+		off[n] = sum
+		sum += counts[n]
+	}
+	for c := 0; c < m; c++ {
+		n := len(cols[basic[c]])
+		if n >= m {
+			n = m - 1
+		}
+		k.order[off[n]] = int32(c)
+		off[n]++
+	}
+
+	for step := 0; step < m; step++ {
+		c := k.order[step]
+		col := cols[basic[c]]
+
+		// Symbolic: DFS from the column's already-pivotal rows through the
+		// partial L, collecting the update steps in topological order into
+		// reach[top:m].
+		top := m
+		stamp := int32(step)
+		for _, e := range col {
+			t := k.pinv[e.row]
+			if t < 0 || k.vmark[t] == stamp {
+				continue
+			}
+			// Iterative DFS from t; pstack holds the resume index into each
+			// frame's L column.
+			depth := 0
+			k.stack[0] = t
+			k.pstack[0] = k.lptr[t]
+			k.vmark[t] = stamp
+			for depth >= 0 {
+				cur := k.stack[depth]
+				end := k.lptr[cur+1]
+				advanced := false
+				for p := k.pstack[depth]; p < end; p++ {
+					tt := k.pinv[k.lrow[p]]
+					if tt < 0 || k.vmark[tt] == stamp {
+						continue
+					}
+					k.pstack[depth] = p + 1
+					depth++
+					k.stack[depth] = tt
+					k.pstack[depth] = k.lptr[tt]
+					k.vmark[tt] = stamp
+					advanced = true
+					break
+				}
+				if advanced {
+					continue
+				}
+				top--
+				k.reach[top] = cur
+				depth--
+			}
+		}
+
+		// Numeric: scatter the column and apply the reach updates in order.
+		k.pat = k.pat[:0]
+		for _, e := range col {
+			k.x[e.row] = e.val
+			k.rmark[e.row] = stamp
+			k.pat = append(k.pat, int32(e.row))
+		}
+		for p := top; p < m; p++ {
+			t := k.reach[p]
+			v := k.x[k.rowOf[t]]
+			if v == 0 {
+				continue
+			}
+			for q := k.lptr[t]; q < k.lptr[t+1]; q++ {
+				r := k.lrow[q]
+				if k.rmark[r] != stamp {
+					k.rmark[r] = stamp
+					k.pat = append(k.pat, r)
+					k.x[r] = 0
+				}
+				k.x[r] -= k.lval[q] * v
+			}
+		}
+
+		// Threshold partial pivoting over the not-yet-pivotal rows.
+		var maxAbs float64
+		for _, r := range k.pat {
+			if k.pinv[r] < 0 {
+				if a := math.Abs(k.x[r]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		if maxAbs <= pivotTol {
+			for _, r := range k.pat {
+				k.x[r] = 0
+			}
+			k.abort(step)
+			return fmt.Errorf("simplex: singular basis at elimination step %d", step)
+		}
+		prow := int32(-1)
+		bar := luThreshold * maxAbs
+		for _, r := range k.pat {
+			if k.pinv[r] < 0 && math.Abs(k.x[r]) >= bar && (prow < 0 || r < prow) {
+				prow = r
+			}
+		}
+
+		// Gather U column step (pivotal rows) and L column step (the rest),
+		// then clear x.
+		for p := top; p < m; p++ {
+			t := k.reach[p]
+			if v := k.x[k.rowOf[t]]; v != 0 {
+				k.urow = append(k.urow, t)
+				k.uval = append(k.uval, v)
+			}
+		}
+		piv := k.x[prow]
+		k.udiag[step] = piv
+		for _, r := range k.pat {
+			if k.pinv[r] < 0 && r != prow {
+				if v := k.x[r]; v != 0 {
+					k.lrow = append(k.lrow, r)
+					k.lval = append(k.lval, v/piv)
+				}
+			}
+			k.x[r] = 0
+		}
+		k.lptr[step+1] = int32(len(k.lval))
+		k.uptr[step+1] = int32(len(k.uval))
+		k.rowOf[step] = prow
+		k.pinv[prow] = int32(step)
+		k.colOf[step] = c
+		if len(k.lval)+len(k.uval)+m > k.maxNNZ {
+			k.abort(step)
+			return fmt.Errorf("simplex: basis factorization exceeds the %d-nonzero budget (Options.MaxFactorNonzeros) at step %d of %d", k.maxNNZ, step, m)
+		}
+	}
+	return nil
+}
+
+// abort patches the column pointers of the not-yet-eliminated steps after a
+// failed factorization. The recovery paths in primal.go and dual.go ignore
+// refactorization errors and may keep issuing solves against the factor-
+// ization, so a failed factor must leave the kernel safely indexable: the
+// remaining steps become empty columns whose stale rowOf/colOf/udiag entries
+// are in range and whose udiag values are nonzero (from resetUnit or an
+// earlier successful factor). Solves then return garbage — the same contract
+// the dense inverse had after a failed Gauss-Jordan elimination — and the
+// recovery ladder or a later successful refactorization restores sanity.
+func (k *luKernel) abort(step int) {
+	for t := step; t < k.m; t++ {
+		k.lptr[t+1] = int32(len(k.lval))
+		k.uptr[t+1] = int32(len(k.uval))
+	}
+}
+
+// ftran solves B·w = v in place (v: row-indexed in, position-indexed out):
+// L-solve, U-solve, permute, then the eta file in creation order. Every pass
+// skips zero entries, so sparse right-hand sides cost O(m) scans plus work
+// proportional to the structural nonzeros they actually touch.
+func (k *luKernel) ftran(v []float64) {
+	m := k.m
+	// L-solve in row indexing, steps ascending.
+	for t := 0; t < m; t++ {
+		val := v[k.rowOf[t]]
+		if val == 0 {
+			continue
+		}
+		for p := k.lptr[t]; p < k.lptr[t+1]; p++ {
+			v[k.lrow[p]] -= k.lval[p] * val
+		}
+	}
+	// U-solve in step indexing, steps descending; hb[t] collects the
+	// solution component of step t.
+	hb := k.hb
+	for t := m - 1; t >= 0; t-- {
+		g := v[k.rowOf[t]]
+		if g == 0 {
+			hb[t] = 0
+			continue
+		}
+		h := g / k.udiag[t]
+		hb[t] = h
+		for p := k.uptr[t]; p < k.uptr[t+1]; p++ {
+			v[k.rowOf[k.urow[p]]] -= k.uval[p] * h
+		}
+	}
+	// Permute into basis-position indexing.
+	for i := 0; i < m; i++ {
+		v[i] = 0
+	}
+	for t := 0; t < m; t++ {
+		if h := hb[t]; h != 0 {
+			v[k.colOf[t]] = h
+		}
+	}
+	// Eta file forward: x_r ← x_r/w_r, then x_i ← x_i − w_i·x_r.
+	for e := 0; e < len(k.etaPiv); e++ {
+		r := k.etaPiv[e]
+		xr := v[r]
+		if xr == 0 {
+			continue
+		}
+		xr /= k.etaPivVal[e]
+		v[r] = xr
+		for p := k.etaPtr[e]; p < k.etaPtr[e+1]; p++ {
+			v[k.etaRow[p]] -= k.etaVal[p] * xr
+		}
+	}
+}
+
+// btran solves Bᵀ·y = v in place (v: position-indexed in, row-indexed out):
+// eta file in reverse creation order, then Uᵀ-solve and Lᵀ-solve.
+func (k *luKernel) btran(v []float64) {
+	m := k.m
+	// Eta file reverse: y_r ← (y_r − Σ_{i≠r} w_i·y_i) / w_r.
+	for e := len(k.etaPiv) - 1; e >= 0; e-- {
+		r := k.etaPiv[e]
+		s := v[r]
+		for p := k.etaPtr[e]; p < k.etaPtr[e+1]; p++ {
+			s -= k.etaVal[p] * v[k.etaRow[p]]
+		}
+		v[r] = s / k.etaPivVal[e]
+	}
+	// Uᵀ forward solve in step indexing into hb.
+	hb := k.hb
+	for t := 0; t < m; t++ {
+		s := v[k.colOf[t]]
+		for p := k.uptr[t]; p < k.uptr[t+1]; p++ {
+			if f := hb[k.urow[p]]; f != 0 {
+				s -= k.uval[p] * f
+			}
+		}
+		if s != 0 {
+			s /= k.udiag[t]
+		}
+		hb[t] = s
+	}
+	// Lᵀ backward solve, writing the row-indexed result into v. Step t only
+	// reads rows pivotal at later steps, which are already final.
+	for t := m - 1; t >= 0; t-- {
+		s := hb[t]
+		for p := k.lptr[t]; p < k.lptr[t+1]; p++ {
+			if y := v[k.lrow[p]]; y != 0 {
+				s -= k.lval[p] * y
+			}
+		}
+		v[k.rowOf[t]] = s
+	}
+}
+
+func (k *luKernel) btranUnit(r int, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	out[r] = 1
+	k.btran(out)
+}
+
+func (k *luKernel) update(r int, w []float64) {
+	for i, wi := range w {
+		if wi != 0 && i != r {
+			k.etaRow = append(k.etaRow, int32(i))
+			k.etaVal = append(k.etaVal, wi)
+		}
+	}
+	if len(k.etaPtr) == 0 {
+		k.etaPtr = append(k.etaPtr, 0)
+	}
+	k.etaPtr = append(k.etaPtr, int32(len(k.etaVal)))
+	k.etaPiv = append(k.etaPiv, int32(r))
+	k.etaPivVal = append(k.etaPivVal, w[r])
+}

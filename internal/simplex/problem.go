@@ -10,8 +10,9 @@
 // solver (package mip). The implementation is a textbook bounded-variable
 // revised simplex with
 //
-//   - a dense basis inverse maintained by product-form (elementary) updates
-//     and periodic refactorization,
+//   - a sparse LU factorization of the basis (Markowitz-style column
+//     ordering, threshold partial pivoting) maintained across pivots by an
+//     eta file and rebuilt by periodic refactorization (see lu.go),
 //   - a two-phase primal method (phase 1 minimizes the sum of artificial
 //     variables),
 //   - Dantzig pricing with an automatic switch to Bland's rule after
@@ -233,15 +234,24 @@ type Options struct {
 	// PivotTol is the minimum magnitude of an acceptable pivot element
 	// (default 1e-8).
 	PivotTol float64
-	// RefactorEvery forces a refactorization of the basis inverse after
-	// this many updates (default 120).
+	// RefactorEvery forces a refactorization of the basis after this many
+	// eta updates (default 120). Besides bounding numerical drift, it
+	// bounds the eta file, the only part of the factorization that grows
+	// per pivot.
 	RefactorEvery int
-	// MaxDenseRows rejects problems whose row count would make the dense
-	// m×m basis inverse unreasonably large (default 8000, ≈ 512 MB).
-	// Callers hitting this limit should shrink the model — for the
-	// allocation LPs, that is exactly what the paper's partial clustering
-	// is for.
-	MaxDenseRows int
+	// MaxFactorNonzeros bounds the size of the basis factorization: NewSolver
+	// rejects problems whose constraint matrix already has more nonzeros,
+	// and a refactorization whose L+U fill exceeds it fails like a singular
+	// basis (entering the recovery ladder). The default of 50e6 entries
+	// (≈ 600 MB) replaces the retired MaxDenseRows guard: dense row limits
+	// penalized huge-but-sparse models that the LU kernel handles easily,
+	// so the budget is now on what actually costs memory.
+	MaxFactorNonzeros int
+	// DenseBaseline selects the retired dense basis-inverse kernel instead
+	// of the sparse LU kernel. It exists so benchmarks and the kernel-swap
+	// regression tests can measure the LU kernel against the exact pre-LU
+	// behavior; it has no production use and no large-model guard.
+	DenseBaseline bool
 	// Canceled, when non-nil, is polled once per simplex iteration; as soon
 	// as it returns true the solve stops and reports StatusCanceled. The
 	// hook must be cheap — it sits on the pivot loop — and is only ever
@@ -268,8 +278,8 @@ func (o Options) withDefaults(m, n int) Options {
 	if o.RefactorEvery == 0 {
 		o.RefactorEvery = 120
 	}
-	if o.MaxDenseRows == 0 {
-		o.MaxDenseRows = 8000
+	if o.MaxFactorNonzeros == 0 {
+		o.MaxFactorNonzeros = 50_000_000
 	}
 	return o
 }

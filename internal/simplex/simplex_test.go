@@ -382,17 +382,28 @@ func TestPhase1CostRestoredOnReSolve(t *testing.T) {
 	}
 }
 
-func TestMaxDenseRowsGuard(t *testing.T) {
+func TestNonzeroBudgetGuard(t *testing.T) {
+	// 10 rows with one structural nonzero each plus 10 slacks = 20 nonzeros.
 	p := &Problem{}
 	x := p.AddVar(0, 1, 1)
 	for r := 0; r < 10; r++ {
 		p.AddRow([]int{x}, []float64{1}, LE, 1)
 	}
-	if _, err := NewSolver(p, Options{MaxDenseRows: 5}); err == nil {
-		t.Fatal("want error above the dense-row limit")
+	if _, err := NewSolver(p, Options{MaxFactorNonzeros: 15}); err == nil {
+		t.Fatal("want error above the nonzero budget")
 	}
-	if _, err := NewSolver(p, Options{MaxDenseRows: 20}); err != nil {
-		t.Fatalf("below the limit: %v", err)
+	if _, err := NewSolver(p, Options{MaxFactorNonzeros: 40}); err != nil {
+		t.Fatalf("below the budget: %v", err)
+	}
+	// An m = 10000 problem — rejected outright by the retired MaxDenseRows
+	// guard — is admitted when sparse.
+	big := &Problem{}
+	v := big.AddVar(0, 1, -1)
+	for r := 0; r < 10000; r++ {
+		big.AddRow([]int{v}, []float64{1}, LE, 1)
+	}
+	if _, err := NewSolver(big, Options{}); err != nil {
+		t.Fatalf("sparse m=10000 rejected: %v", err)
 	}
 }
 

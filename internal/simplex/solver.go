@@ -40,8 +40,8 @@ type Solver struct {
 	basisRow []int // basisRow[j] = row of basic column j, or -1
 	vstat    []int8
 	xB       []float64
-	binv     [][]float64 // dense m×m basis inverse
-	updates  int         // product-form updates since last refactorization
+	kern     basisKernel // factorized basis (sparse LU + eta file; see lu.go)
+	updates  int         // eta-file updates since last refactorization
 
 	iters      int
 	bland      bool // anti-cycling mode
@@ -59,8 +59,8 @@ func NewSolver(p *Problem, opt Options) (*Solver, error) {
 		return nil, err
 	}
 	m, n := len(p.Rows), p.NumVars
-	if limit := opt.withDefaults(m, n).MaxDenseRows; m > limit {
-		return nil, fmt.Errorf("simplex: %d rows exceed the dense-basis limit %d; reduce the model (e.g. via partial clustering) or raise Options.MaxDenseRows", m, limit)
+	if limit := opt.withDefaults(m, n).MaxFactorNonzeros; problemNonzeros(p) > limit {
+		return nil, fmt.Errorf("simplex: %d constraint nonzeros exceed the factorization budget %d; reduce the model (e.g. via partial clustering) or raise Options.MaxFactorNonzeros", problemNonzeros(p), limit)
 	}
 	s := &Solver{
 		opt:   opt.withDefaults(m, n),
@@ -116,11 +116,18 @@ func NewSolver(p *Problem, opt Options) (*Solver, error) {
 	s.w = make([]float64, m)
 	s.rho = make([]float64, m)
 	s.tmpRHS = make([]float64, m)
-	s.binv = make([][]float64, m)
-	for r := range s.binv {
-		s.binv[r] = make([]float64, m)
-	}
+	s.kern = newBasisKernel(m, s.opt)
 	return s, nil
+}
+
+// problemNonzeros counts the constraint-matrix nonzeros of p including the
+// m slack columns — the floor on any basis factorization's size.
+func problemNonzeros(p *Problem) int {
+	nnz := len(p.Rows)
+	for _, row := range p.Rows {
+		nnz += len(row.Idx)
+	}
+	return nnz
 }
 
 // nonbasicValue returns the current value of nonbasic column j.
@@ -208,7 +215,7 @@ func (s *Solver) initBasis() int {
 		s.xB[r] = gap
 		nart++
 	}
-	s.identityBasisInverse()
+	s.resetBasisKernel()
 	return nart
 }
 
@@ -226,58 +233,53 @@ func (s *Solver) addArtificial(r int, sign float64) int {
 	return j
 }
 
-// identityBasisInverse resets binv for a basis whose matrix columns are
-// signed units (the initial slack/artificial basis).
-func (s *Solver) identityBasisInverse() {
+// resetBasisKernel reinstalls the factorization for a basis whose matrix
+// columns are signed units (the initial slack/artificial basis).
+func (s *Solver) resetBasisKernel() {
+	diag := s.rho // scratch; copied by the kernel
 	for r := 0; r < s.m; r++ {
-		row := s.binv[r]
-		for c := range row {
-			row[c] = 0
-		}
 		// The basic column in row r is a unit column ±1 in row r.
-		row[r] = 1 / s.cols[s.basic[r]][0].val
+		diag[r] = s.cols[s.basic[r]][0].val
 	}
+	s.kern.resetUnit(diag)
 	s.updates = 0
 }
 
-// ftran computes w = B⁻¹ · A_j into s.w and returns it.
+// ftran computes w = B⁻¹ · A_j into s.w and returns it. The buffer is owned
+// by the Solver and overwritten by the next ftran call; callers must not
+// retain it across kernel operations.
 func (s *Solver) ftran(j int) []float64 {
 	w := s.w
 	for r := range w {
 		w[r] = 0
 	}
 	for _, e := range s.cols[j] {
-		v := e.val
-		col := e.row
-		for r := 0; r < s.m; r++ {
-			w[r] += s.binv[r][col] * v
-		}
+		w[e.row] = e.val
 	}
+	s.kern.ftran(w)
 	return w
 }
 
-// btran computes y = (pcost_B)ᵀ · B⁻¹ into s.y and returns it.
+// btran computes y = (pcost_B)ᵀ · B⁻¹ into s.y and returns it. The buffer
+// is owned by the Solver, like s.w for ftran.
 func (s *Solver) btran() []float64 {
 	y := s.y
-	for c := range y {
-		y[c] = 0
+	for r := range y {
+		y[r] = 0
 	}
 	for r := 0; r < s.m; r++ {
-		cb := s.pcost[s.basic[r]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[r]
-		for c := 0; c < s.m; c++ {
-			y[c] += cb * row[c]
+		if cb := s.pcost[s.basic[r]]; cb != 0 {
+			y[r] = cb
 		}
 	}
+	s.kern.btran(y)
 	return y
 }
 
-// binvRow copies row r of B⁻¹ into s.rho and returns it.
+// binvRow computes row r of B⁻¹ (a unit-vector BTRAN) into s.rho and
+// returns it. The buffer is owned by the Solver, like s.w for ftran.
 func (s *Solver) binvRow(r int) []float64 {
-	copy(s.rho, s.binv[r])
+	s.kern.btranUnit(r, s.rho)
 	return s.rho
 }
 
@@ -304,14 +306,8 @@ func (s *Solver) computeXB() {
 			}
 		}
 	}
-	for r := 0; r < s.m; r++ {
-		var sum float64
-		row := s.binv[r]
-		for c := 0; c < s.m; c++ {
-			sum += row[c] * res[c]
-		}
-		s.xB[r] = sum
-	}
+	s.kern.ftran(res)
+	copy(s.xB, res)
 }
 
 // interrupted reports whether the caller's cancellation hook has fired.
@@ -319,93 +315,26 @@ func (s *Solver) interrupted() bool {
 	return s.opt.Canceled != nil && s.opt.Canceled()
 }
 
-// refactor recomputes the basis inverse from scratch by Gauss-Jordan
-// elimination with partial pivoting. It returns an error if the basis
-// matrix is numerically singular.
+// refactor rebuilds the basis factorization from scratch, discarding the
+// accumulated eta file. It returns an error if the basis matrix is
+// numerically singular or the factorization exceeds the nonzero budget.
 func (s *Solver) refactor() error {
 	if s.opt.Fault != nil && s.opt.Fault.FailRefactor() {
 		return fmt.Errorf("simplex: injected refactorization failure")
 	}
-	m := s.m
-	// Build dense B.
-	b := make([][]float64, m)
-	for r := range b {
-		b[r] = make([]float64, m)
-	}
-	for c, j := range s.basic {
-		for _, e := range s.cols[j] {
-			b[e.row][c] = e.val
-		}
-	}
-	// Initialize inverse to identity.
-	inv := s.binv
-	for r := 0; r < m; r++ {
-		row := inv[r]
-		for c := range row {
-			row[c] = 0
-		}
-		row[r] = 1
-	}
-	for c := 0; c < m; c++ {
-		// Partial pivot.
-		p, best := -1, s.opt.PivotTol
-		for r := c; r < m; r++ {
-			if a := math.Abs(b[r][c]); a > best {
-				p, best = r, a
-			}
-		}
-		if p < 0 {
-			return fmt.Errorf("simplex: singular basis at column %d", c)
-		}
-		b[c], b[p] = b[p], b[c]
-		inv[c], inv[p] = inv[p], inv[c]
-		piv := 1 / b[c][c]
-		for k := 0; k < m; k++ {
-			b[c][k] *= piv
-			inv[c][k] *= piv
-		}
-		for r := 0; r < m; r++ {
-			if r == c {
-				continue
-			}
-			f := b[r][c]
-			if f == 0 {
-				continue
-			}
-			br, bc := b[r], b[c]
-			ir, ic := inv[r], inv[c]
-			for k := 0; k < m; k++ {
-				br[k] -= f * bc[k]
-				ir[k] -= f * ic[k]
-			}
-		}
+	if err := s.kern.factor(s.basic, s.cols, s.opt.PivotTol); err != nil {
+		return err
 	}
 	s.updates = 0
 	return nil
 }
 
 // pivot replaces the basic variable of row r with entering column e, whose
-// ftran column is w (already computed). It updates binv, statuses, and the
-// bookkeeping; xB must be updated by the caller beforehand.
+// ftran column is w (already computed). It appends an eta update to the
+// kernel and maintains the status bookkeeping; xB must be updated by the
+// caller beforehand.
 func (s *Solver) pivot(r, e int, w []float64) {
-	piv := 1 / w[r]
-	rowR := s.binv[r]
-	for c := 0; c < s.m; c++ {
-		rowR[c] *= piv
-	}
-	for i := 0; i < s.m; i++ {
-		if i == r {
-			continue
-		}
-		f := w[i]
-		if f == 0 {
-			continue
-		}
-		rowI := s.binv[i]
-		for c := 0; c < s.m; c++ {
-			rowI[c] -= f * rowR[c]
-		}
-	}
+	s.kern.update(r, w)
 	s.basisRow[s.basic[r]] = -1
 	s.basic[r] = e
 	s.basisRow[e] = r
