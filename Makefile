@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race fault bench benchcompile bench-paper
+.PHONY: check fmt-check vet fragvet build test race fault crash bench benchcompile bench-paper
 
-check: fmt-check vet fragvet build benchcompile fault race
+check: fmt-check vet fragvet build benchcompile fault crash race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -38,6 +38,14 @@ race:
 fault:
 	$(GO) test -race -run 'Recovery|Cancel|Degraded|Retry|Fault|Seeded' \
 		./internal/simplex ./internal/mip ./internal/core ./internal/faultinject
+
+# Crash-safety suite (DESIGN.md §3.9): checkpoint format round-trip and
+# corruption sweeps, kill-point crash/resume bit-identity (in-process panic
+# and subprocess os.Exit(137)), torn-write fallback, and the mid-MIP
+# checkpoint observation/warm-resume tests.
+crash:
+	$(GO) test -run 'Checkpoint|Crash|Resume|Torn|Truncation|BitFlip|Generations|Recorder|Digest' \
+		./internal/checkpoint ./internal/core ./internal/mip ./internal/model
 
 # Bench-rot guard: run every benchmark in the repo exactly once so a
 # benchmark that no longer compiles or crashes fails `make check`. -short

@@ -24,6 +24,13 @@
 // subproblems carrying their incumbents and untouched ones degraded to the
 // greedy allocator — plus a per-subproblem status breakdown on stderr.
 //
+// With -checkpoint DIR the lp approach additionally journals its progress
+// durably (every completed subproblem, plus long MIP searches every
+// -checkpoint-every), so a crash or kill loses at most the work since the
+// last checkpoint; -resume restarts from the journal, replaying
+// proven-optimal subproblems verbatim and warm-starting the rest. See
+// DESIGN.md §3.9 for the format and guarantees.
+//
 // Exit codes:
 //
 //	0  allocation computed; every subproblem optimal or feasible-in-budget
@@ -31,6 +38,11 @@
 //	   -timeout / a signal — feasible, yet without the usual guarantees
 //	3  the input admits no feasible allocation
 //	1  internal error (bad flags, I/O, solver bug)
+//
+// A second SIGINT/SIGTERM skips the graceful wind-down and exits
+// immediately with code 1, emitting no allocation — the escape hatch when a
+// long LP has not yet noticed the first signal's cancellation. With
+// -checkpoint set, the journal written so far survives for a later -resume.
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 	"time"
 
 	"fragalloc"
+	"fragalloc/internal/checkpoint"
 	"fragalloc/internal/mip"
 )
 
@@ -68,6 +81,9 @@ func main() {
 	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem (lp)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock limit; on expiry lp emits its best partial allocation (0 = none)")
 	parallel := flag.Int("parallel", 0, "concurrent subproblem solves for lp (0 = GOMAXPROCS, 1 = serial)")
+	ckptDir := flag.String("checkpoint", "", "journal lp solve progress durably into this directory")
+	resume := flag.Bool("resume", false, "resume from the journal in -checkpoint instead of starting fresh")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "minimum interval between mid-MIP checkpoints (default 30s)")
 	out := flag.String("o", "", "output file (default stdout)")
 	exportLP := flag.String("export-lp", "", "write the exact MIP in CPLEX LP format to this file and exit")
 	verbose := flag.Bool("v", false, "progress logging to stderr")
@@ -75,13 +91,24 @@ func main() {
 
 	// Ctrl-C / SIGTERM and -timeout share one cancellation context: the
 	// solvers poll ctx.Err down to individual simplex iterations and wind
-	// down with their best incumbents instead of dying mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// down with their best incumbents instead of dying mid-write. A second
+	// signal forces an immediate exit — the escape hatch when a long LP has
+	// not yet reached its cancellation poll (see the exit-code table above).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "allocate: second signal, exiting immediately")
+		os.Exit(exitInternal)
+	}()
 	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+		var timeoutCancel context.CancelFunc
+		ctx, timeoutCancel = context.WithTimeout(ctx, *timeout)
+		defer timeoutCancel()
 	}
 
 	w, err := loadWorkload(*workload, *in)
@@ -131,6 +158,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}
 		}
+		rec, err := openRecorder(*ckptDir, *resume, *ckptEvery)
+		if err != nil {
+			fail(err)
+		}
+		opt.Checkpoint = rec
 		res, err := fragalloc.Allocate(w, ss, *k, opt)
 		if err != nil {
 			if errors.Is(err, fragalloc.ErrInfeasible) {
@@ -152,6 +184,11 @@ func main() {
 		}
 		if res.Canceled || res.Outcomes.Degraded > 0 {
 			code = exitDegraded
+		}
+		if rec != nil {
+			if err := rec.SaveErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "allocate: warning: checkpoint journaling failed during the run: %v\n", err)
+			}
 		}
 	case "greedy":
 		alloc, err = fragalloc.GreedyAllocate(w, nil, *k)
@@ -189,6 +226,36 @@ func main() {
 		fail(err)
 	}
 	os.Exit(code)
+}
+
+// openRecorder sets up the durable journal for the lp approach: it opens (or
+// creates) the checkpoint directory and, with resume, loads the newest good
+// generation to restart from. Resuming an empty directory starts fresh —
+// that is what lets a crash-resume loop converge unattended.
+func openRecorder(dir string, resume bool, every time.Duration) (*checkpoint.Recorder, error) {
+	if dir == "" {
+		if resume {
+			return nil, fmt.Errorf("-resume requires -checkpoint DIR")
+		}
+		return nil, nil
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	var prev *checkpoint.Snapshot
+	if resume {
+		prev, err = st.Load()
+		if err != nil {
+			return nil, err
+		}
+		if prev == nil {
+			fmt.Fprintf(os.Stderr, "allocate: no checkpoint found in %s; starting fresh\n", dir)
+		} else {
+			fmt.Fprintf(os.Stderr, "allocate: resuming from checkpoint journal in %s\n", dir)
+		}
+	}
+	return checkpoint.NewRecorder(st, prev, every), nil
 }
 
 func loadWorkload(name, path string) (*fragalloc.Workload, error) {

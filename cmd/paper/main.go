@@ -18,11 +18,20 @@
 //	-maxq 300                    accounting truncation for Table 1b's LP rows
 //	-seed 1                      scenario sampling seed
 //	-parallel 0                  concurrent table rows (0 = GOMAXPROCS, 1 = serial)
+//	-checkpoint DIR              journal every LP row's solve progress durably
+//	                             under DIR/<row-id> (DESIGN.md §3.9)
+//	-resume                      restart rows from their -checkpoint journals:
+//	                             fully-optimal rows replay bit-identically,
+//	                             the rest warm-start from their incumbents
 //	-per-scenario                with fig2: also print the Figure 2b series
 //	-v                           verbose solver progress
 //
 // Results are plain text tables on stdout; EXPERIMENTS.md records a run
 // side by side with the paper's numbers.
+//
+// A first SIGINT/SIGTERM winds the run down gracefully with its best
+// incumbents; a second one forces an immediate exit with code 1 (with
+// -checkpoint set, the journal written so far survives for -resume).
 package main
 
 import (
@@ -46,6 +55,8 @@ func main() {
 	maxq := flag.Int("maxq", 300, "accounting workload truncation for Table 1b LP rows")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
 	parallel := flag.Int("parallel", 0, "concurrent table rows (0 = GOMAXPROCS, 1 = serial)")
+	ckptDir := flag.String("checkpoint", "", "journal LP row progress durably under this directory")
+	resume := flag.Bool("resume", false, "resume rows from their -checkpoint journals")
 	perScenario := flag.Bool("per-scenario", false, "fig2: print the per-scenario series (Figure 2b)")
 	verbose := flag.Bool("v", false, "verbose solver progress")
 	flag.Usage = func() {
@@ -60,26 +71,43 @@ func main() {
 
 	// Ctrl-C / SIGTERM and -timeout share one cancellation context; the
 	// solvers poll it and finish with their best incumbents (degraded rows
-	// are tagged in the table output) instead of losing the whole run.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// are tagged in the table output) instead of losing the whole run. A
+	// second signal forces an immediate exit — the escape hatch when a long
+	// LP has not yet reached its cancellation poll.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "paper: second signal, exiting immediately")
+		os.Exit(1)
+	}()
 	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+		var timeoutCancel context.CancelFunc
+		ctx, timeoutCancel = context.WithTimeout(ctx, *timeout)
+		defer timeoutCancel()
 	}
 
 	cfg := experiments.Config{
-		Workload:    *workload,
-		Full:        *full,
-		Budget:      *budget,
-		OutOfSample: *unseen,
-		MaxQ:        *maxq,
-		Seed:        *seed,
-		Parallelism: *parallel,
-		Out:         os.Stdout,
-		Verbose:     *verbose,
-		Canceled:    func() bool { return ctx.Err() != nil },
+		Workload:      *workload,
+		Full:          *full,
+		Budget:        *budget,
+		OutOfSample:   *unseen,
+		MaxQ:          *maxq,
+		Seed:          *seed,
+		Parallelism:   *parallel,
+		Out:           os.Stdout,
+		Verbose:       *verbose,
+		Canceled:      func() bool { return ctx.Err() != nil },
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "paper: -resume requires -checkpoint DIR")
+		os.Exit(2)
 	}
 
 	var err error

@@ -44,7 +44,7 @@ type Analyzer struct {
 
 // Analyzers is the fragvet suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RangeMapOrder, FloatCmp, AliasRetain, LockHeld, CtxHook}
+	return []*Analyzer{RangeMapOrder, FloatCmp, AliasRetain, LockHeld, CtxHook, Atomicwrite}
 }
 
 // A Pass hands one analyzer the parsed and type-checked view of one package.

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicwrite guards the durability contract of the checkpoint subsystem
+// (DESIGN.md §3.9): checkpoint generation files must only ever be produced
+// by internal/checkpoint's atomic writer (write-temp → fsync → rename →
+// fsync-directory, versioned header, CRC). A direct os.WriteFile, os.Create,
+// or creating os.OpenFile on a checkpoint path anywhere else can leave a
+// torn file under a final name — exactly the failure mode the format's CRC
+// and generation fallback exist to rule out, but only if every writer goes
+// through the Store.
+//
+// The check is lexical on the path argument: a call is flagged when any
+// string literal inside its path expression (including through
+// filepath.Join or fmt.Sprintf arguments) mentions ".ckpt" or "checkpoint".
+// Packages under internal/checkpoint are exempt — they ARE the atomic
+// writer.
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "flag direct os.WriteFile/os.Create/os.OpenFile calls on checkpoint " +
+		"paths outside internal/checkpoint's atomic writer",
+	Run: runAtomicwrite,
+}
+
+// atomicwriteFuncs are the os functions that create or truncate a file at a
+// caller-supplied path. Read-side helpers (os.ReadFile, os.Open) are fine:
+// the invariant protects writes.
+var atomicwriteFuncs = map[string]bool{
+	"WriteFile": true,
+	"Create":    true,
+	"OpenFile":  true,
+}
+
+func runAtomicwrite(pass *Pass) {
+	if pass.Pkg.Path == "fragalloc/internal/checkpoint" ||
+		strings.HasSuffix(pass.Pkg.Path, "/internal/checkpoint") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := osWriteCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if name == "OpenFile" && !openFileCreates(call) {
+				return true
+			}
+			if !mentionsCheckpointPath(call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "os.%s writes a checkpoint path directly; "+
+				"go through internal/checkpoint's atomic writer (temp+fsync+rename) "+
+				"so a crash cannot leave a torn generation file", name)
+			return true
+		})
+	}
+}
+
+// osWriteCall reports whether call is os.<fn> for one of the write-side
+// functions, resolving the selector through the type info so an `os` local
+// variable or a differently-named import does not confuse the check.
+func osWriteCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicwriteFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.ObjectOf(id).(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// openFileCreates reports whether an os.OpenFile call's flag argument
+// mentions O_CREATE or O_TRUNC lexically; read-only opens of checkpoint
+// files (the loader's job) are allowed.
+func openFileCreates(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	creates := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "O_CREATE" || sel.Sel.Name == "O_TRUNC" {
+				creates = true
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if id.Name == "O_CREATE" || id.Name == "O_TRUNC" {
+				creates = true
+			}
+		}
+		return true
+	})
+	return creates
+}
+
+// mentionsCheckpointPath reports whether any string literal within the
+// expression names a checkpoint artifact.
+func mentionsCheckpointPath(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s := strings.ToLower(lit.Value)
+		if strings.Contains(s, ".ckpt") || strings.Contains(s, "checkpoint") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

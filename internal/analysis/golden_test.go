@@ -128,6 +128,7 @@ func TestFloatCmpHelperExempt(t *testing.T) {
 func TestAliasRetainGolden(t *testing.T) { runGolden(t, "aliasretain", AliasRetain) }
 func TestLockHeldGolden(t *testing.T)    { runGolden(t, "lockheld", LockHeld) }
 func TestCtxHookGolden(t *testing.T)     { runGolden(t, "ctxhook", CtxHook) }
+func TestAtomicwriteGolden(t *testing.T) { runGolden(t, "atomicwrite", Atomicwrite) }
 
 // TestIgnoreDirectives exercises the suppression path with the full suite:
 // valid annotations silence their analyzer, while empty reasons, missing

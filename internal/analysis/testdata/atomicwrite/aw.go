@@ -1,0 +1,50 @@
+// Package aw is golden-test input for the atomicwrite analyzer.
+package aw
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// writeFileDirect writes a generation file without the atomic writer.
+func writeFileDirect(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "gen-00000001.ckpt"), data, 0o644) // want "os.WriteFile writes a checkpoint path directly"
+}
+
+// createDirect creates a checkpoint file with a bare os.Create.
+func createDirect(dir string) (*os.File, error) {
+	return os.Create(dir + "/checkpoint.json") // want "os.Create writes a checkpoint path directly"
+}
+
+// openFileCreate creates a checkpoint file through os.OpenFile.
+func openFileCreate(name string) (*os.File, error) {
+	return os.OpenFile("state.ckpt.tmp", os.O_WRONLY|os.O_CREATE, 0o644) // want "os.OpenFile writes a checkpoint path directly"
+}
+
+// sprintfPath builds the checkpoint path indirectly; the literal still
+// mentions .ckpt inside the argument expression.
+func sprintfPath(dir string, gen int) error {
+	return os.WriteFile(fmt.Sprintf("%s/gen-%08d.ckpt", dir, gen), nil, 0o644) // want "os.WriteFile writes a checkpoint path directly"
+}
+
+// readSide: loads are fine — only writes can tear a generation.
+func readSide(dir string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, "gen-00000001.ckpt"))
+}
+
+// openReadOnly opens a checkpoint without creating: allowed.
+func openReadOnly(name string) (*os.File, error) {
+	return os.OpenFile("state.ckpt", os.O_RDONLY, 0)
+}
+
+// unrelatedWrite touches a non-checkpoint path: allowed.
+func unrelatedWrite(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "alloc.json"), data, 0o644)
+}
+
+// suppressed documents why a direct write is safe here.
+func suppressed(dir string, data []byte) error {
+	//fragvet:ignore atomicwrite — test fixture fabricates a corrupt generation on purpose
+	return os.WriteFile(filepath.Join(dir, "gen-00000002.ckpt"), data, 0o644)
+}

@@ -1,0 +1,259 @@
+// Package checkpoint makes long allocation runs restartable: it journals
+// solve progress — completed subproblem solutions, the global best W/V, and
+// in-flight MIP incumbents — into durable generation files, so a crash,
+// OOM kill, or preemption loses at most the work since the last checkpoint
+// instead of the whole run (DESIGN.md §3.9).
+//
+// Durability contract. Every Save writes a fresh generation file by
+// write-temp → fsync → rename → fsync-directory, so a crash at any
+// instruction leaves either the previous generations or the complete new
+// one — never a torn file under a final name that a rename made visible
+// half-written. Each file carries a versioned header and a CRC32 of its
+// payload; the loader verifies both and falls back to the previous
+// generation when the newest is torn, truncated, or bit-flipped (the store
+// keeps the two newest generations for exactly this reason). This is the
+// only sanctioned way to write checkpoint files — the fragvet analyzer
+// `atomicwrite` flags direct os.WriteFile/os.Create calls on checkpoint
+// paths elsewhere.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File format: an 8-byte magic, a version, the payload length, and a CRC32
+// (IEEE) of the payload, followed by the JSON-encoded Snapshot. Fixed-width
+// fields are little-endian.
+const (
+	magic      = "FRAGCKPT"
+	version    = 1
+	headerSize = 8 + 4 + 8 + 4
+)
+
+// FaultInjector lets crash tests interpose on the durable write path. It is
+// implemented structurally by internal/faultinject, which this package must
+// not import (mirroring simplex.FaultInjector).
+type FaultInjector interface {
+	// BeforeRename is consulted once per Save, after the temp file is
+	// written and before it is renamed into place. Returning true truncates
+	// the temp file mid-payload first, so the generation renamed into place
+	// is torn and a resuming loader must reject it by CRC and fall back.
+	BeforeRename() bool
+	// AfterSave runs once per Save after the rename and directory sync have
+	// completed. An implementation may panic or os.Exit here to simulate a
+	// crash whose last checkpoint is already durable.
+	AfterSave()
+}
+
+// Store owns one checkpoint directory and its generation files
+// (gen-%08d.ckpt). Saves are serialized; the newest two generations are
+// kept, older ones pruned.
+type Store struct {
+	dir   string
+	fault FaultInjector
+
+	mu  sync.Mutex
+	gen uint64 // newest generation written or found on disk
+}
+
+// Open creates dir if needed and scans it for existing generations.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st := &Store{dir: dir}
+	gens, err := st.generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		st.gen = gens[len(gens)-1]
+	}
+	return st, nil
+}
+
+// Dir returns the checkpoint directory.
+func (st *Store) Dir() string { return st.dir }
+
+// SetFault installs a fault injector on the write path (tests only).
+func (st *Store) SetFault(f FaultInjector) { st.fault = f }
+
+// generations lists the on-disk generation numbers in ascending order.
+func (st *Store) generations() ([]uint64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var g uint64
+		if n, err := fmt.Sscanf(e.Name(), "gen-%d.ckpt", &g); err == nil && n == 1 &&
+			e.Name() == genName(g) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func genName(g uint64) string { return fmt.Sprintf("gen-%08d.ckpt", g) }
+
+// encode frames the snapshot payload with the versioned, checksummed header.
+func encode(snap *Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding snapshot: %w", err)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[0:8], magic)
+	binary.LittleEndian.PutUint32(buf[8:12], version)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// decode verifies the header and CRC and unmarshals the payload. Any
+// mismatch — magic, version, length, checksum, or JSON — is an error, which
+// Load treats as "this generation is corrupt, fall back".
+func decode(data []byte) (*Snapshot, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("checkpoint: file truncated below header (%d bytes)", len(data))
+	}
+	if string(data[0:8]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", data[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", v, version)
+	}
+	plen := binary.LittleEndian.Uint64(data[12:20])
+	if uint64(len(data)-headerSize) != plen {
+		return nil, fmt.Errorf("checkpoint: payload length %d does not match header %d", len(data)-headerSize, plen)
+	}
+	payload := data[headerSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[20:24]); got != want {
+		return nil, fmt.Errorf("checkpoint: payload CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(payload, snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding payload: %w", err)
+	}
+	return snap, nil
+}
+
+// Save durably writes snap as the next generation: write-temp → fsync →
+// rename → fsync-directory, then prunes generations beyond the newest two.
+// A crash at any point leaves the previous generations loadable.
+func (st *Store) Save(snap *Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	buf, err := encode(snap)
+	if err != nil {
+		return err
+	}
+	gen := st.gen + 1
+	final := filepath.Join(st.dir, genName(gen))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if st.fault != nil && st.fault.BeforeRename() {
+		// Torn-write simulation: chop the payload in half before the file
+		// becomes the newest generation, so the loader's CRC must reject it.
+		if err := f.Truncate(int64(headerSize + (len(buf)-headerSize)/2)); err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := syncDir(st.dir); err != nil {
+		return err
+	}
+	st.gen = gen
+	st.prune()
+	if st.fault != nil {
+		st.fault.AfterSave()
+	}
+	return nil
+}
+
+// prune removes generations older than the newest two, best-effort: a
+// failed removal never fails a Save.
+func (st *Store) prune() {
+	gens, err := st.generations()
+	if err != nil {
+		return
+	}
+	for len(gens) > 2 {
+		os.Remove(filepath.Join(st.dir, genName(gens[0])))
+		gens = gens[1:]
+	}
+}
+
+// syncDir fsyncs the directory so the rename itself is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Load returns the newest generation that decodes and verifies, falling
+// back through older generations when the newest is torn or corrupt. It
+// returns (nil, nil) when the directory holds no generations at all, and an
+// error only when generations exist but none is loadable.
+func (st *Store) Load() (*Snapshot, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	gens, err := st.generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, nil
+	}
+	var errs []error
+	for i := len(gens) - 1; i >= 0; i-- {
+		name := filepath.Join(st.dir, genName(gens[i]))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", genName(gens[i]), err))
+			continue
+		}
+		snap, err := decode(data)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", genName(gens[i]), err))
+			continue
+		}
+		return snap, nil
+	}
+	return nil, fmt.Errorf("checkpoint: no loadable generation in %s: %w", st.dir, errors.Join(errs...))
+}

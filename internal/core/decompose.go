@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"fragalloc/internal/checkpoint"
 	"fragalloc/internal/greedy"
 	"fragalloc/internal/mip"
 	"fragalloc/internal/model"
@@ -45,6 +47,15 @@ type Options struct {
 	// Result.Canceled set. The hook must be cheap and safe to call from
 	// multiple goroutines.
 	Canceled func() bool
+	// Checkpoint, when non-nil, journals solve progress durably: every
+	// completed subproblem immediately, and long MIP searches every
+	// Recorder interval (DESIGN.md §3.9). On a recorder resumed from a
+	// prior run's journal, proven-optimal subproblems are replayed verbatim
+	// — the final allocation is bit-identical to the uninterrupted run —
+	// while feasible/degraded records warm-start their re-solve and
+	// in-flight MIP incumbents seed the restarted search. Allocate fails if
+	// the journal was written for different inputs (see Recorder.Bind).
+	Checkpoint *checkpoint.Recorder
 	// Ablation switches off individual solver refinements; used by the
 	// ablation benchmarks to quantify each design choice. Leave zero for
 	// production use.
@@ -188,7 +199,16 @@ func Allocate(w *model.Workload, ss *model.ScenarioSet, k int, opt Options) (*Re
 	}
 	d.logf("core: allocating K=%d with spec %v (%d exact groups, parallelism %d)",
 		k, spec, spec.Groups(), d.gate.width())
-	if err := d.solve(root, spec, 0); err != nil {
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Bind(runKey(w, ss, k, spec, opt), v); err != nil {
+			return nil, err
+		}
+		if opt.Checkpoint.Resumed() {
+			subs, mips := opt.Checkpoint.Counts()
+			d.logf("core: resuming from checkpoint journal (%d subproblem records, %d in-flight MIP incumbents)", subs, mips)
+		}
+	}
+	if err := d.solve(root, spec, 0, "r"); err != nil {
 		return nil, err
 	}
 
@@ -315,10 +335,15 @@ func (d *driver) recordSolution(sol *solution) {
 }
 
 // solve recursively processes a subproblem according to spec, assigning the
-// final nodes [leaf, leaf+spec.Leaves).
-func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
+// final nodes [leaf, leaf+spec.Leaves). id is the subproblem's deterministic
+// journal path ("r", "r.0", "r.0.2", …): it depends only on the position in
+// the decomposition tree, never on scheduling, so a resumed run looks up
+// exactly the records its predecessor wrote.
+func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int, id string) error {
 	if len(spec.Children) == 0 && spec.Leaves == 1 {
 		// A single final node: it takes the whole inherited subproblem.
+		// Nothing is journaled — the assignment is a cheap deterministic
+		// projection of the parent's solution, so a resume recomputes it.
 		d.assignLeaf(sp, leaf)
 		return nil
 	}
@@ -339,6 +364,27 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 		}
 	}
 	sp.weights = weights
+
+	// Resume: a journaled proven-optimal record replays verbatim — no hint
+	// pre-solves, no MIP — which both skips the work and (because the
+	// decoded solution is reconstructed bit for bit) keeps the final
+	// allocation identical to the uninterrupted run. Feasible and degraded
+	// records instead become one more warm-start hint for a fresh solve:
+	// the re-solve starts no worse than the journaled incumbent and a
+	// larger budget may improve it.
+	ck := d.subCkpt(id)
+	var journalHint map[int][]bool
+	if ck != nil {
+		if rec := ck.rec.Sub(ck.id); rec != nil && recordCompatible(rec, b) {
+			if o, ok := outcomeFromString(rec.Outcome); ok && o == OutcomeOptimal {
+				sol := solutionFromRecord(rec)
+				d.recordSolution(sol)
+				d.logf("core: split %v replayed from checkpoint (optimal, %d nodes)", spec, sol.nodes)
+				return d.finish(sp, spec, sol, leaf, id)
+			}
+			journalHint = hintFromRecord(rec)
+		}
+	}
 
 	// Pre-solve hints. For exact groups with B >= 3, a hierarchical
 	// pre-solve (recursive two-way decomposition of the same subproblem)
@@ -378,17 +424,29 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 	d.logf("core: solving split %v (B=%d, %d flexible queries, %d fragments) for leaves %d..%d",
 		spec, b, len(sp.flexQ), countTrue(sp.activeFrag), leaf, leaf+spec.Leaves-1)
 	d.gate.acquire()
-	sol, err := d.solveWithPolicy(sp, spec, hint, greedyHint)
+	sol, err := d.solveWithPolicy(sp, spec, ck, hint, greedyHint, journalHint)
 	d.gate.release()
 	if err != nil {
 		return err
 	}
 	d.recordSolution(sol)
+	if ck != nil {
+		// Journal the completed solve — degraded outcomes included, routing
+		// and all — before any child work starts, so a crash below this
+		// point never re-solves this subproblem.
+		ck.record(d, sol, len(spec.Children) == 0)
+	}
 	d.logf("core: split %v solved (%v): L=%.4f gap=%.4f nodes=%d", spec, sol.outcome, sol.l, sol.gap, sol.nodes)
+	return d.finish(sp, spec, sol, leaf, id)
+}
 
+// finish applies a solved (or replayed) split: exact groups write their
+// placement and routing into the final allocation; inner splits derive the
+// child subproblems and recurse into the independent siblings concurrently.
+func (d *driver) finish(sp *subproblem, spec *ChunkSpec, sol *solution, leaf int, id string) error {
 	if len(spec.Children) == 0 {
 		// Exact group: subnodes are final nodes.
-		for bb := 0; bb < b; bb++ {
+		for bb := 0; bb < len(sp.weights); bb++ {
 			d.alloc.Fragments[leaf+bb] = append([]int(nil), sol.frags[bb]...)
 		}
 		//fragvet:ignore rangemaporder — each (j,s) key writes only its own Shares[s][j] row, so the final contents are order-independent
@@ -420,7 +478,7 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int) error {
 	tasks := make([]func() error, len(spec.Children))
 	for bb, cs := range spec.Children {
 		bb, cs := bb, cs
-		tasks[bb] = func() error { return d.solve(subs[bb], cs, leaves[bb]) }
+		tasks[bb] = func() error { return d.solve(subs[bb], cs, leaves[bb], id+"."+strconv.Itoa(bb)) }
 	}
 	return d.gate.run(tasks...)
 }
@@ -456,9 +514,13 @@ func (d *driver) hierarchicalHint(sp *subproblem, n int) map[int][]bool {
 	spec := Split(Flat(half), Flat(n-half))
 	// The scratch driver gets its own allocation and statistics but shares
 	// the parent's worker pool and log serialization, so pre-solves cannot
-	// oversubscribe the CPU budget or interleave log lines.
+	// oversubscribe the CPU budget or interleave log lines. Its checkpoint
+	// recorder is stripped: a pre-solve is throwaway scaffolding whose
+	// subproblem ids would collide with the real decomposition's journal.
+	opt := d.opt
+	opt.Checkpoint = nil
 	scratch := &driver{
-		w: d.w, ss: d.ss, opt: d.opt, alloc: model.NewAllocation(d.alloc.K), exact: true,
+		w: d.w, ss: d.ss, opt: opt, alloc: model.NewAllocation(d.alloc.K), exact: true,
 		gate: d.gate, logMu: d.logMu,
 	}
 	scratch.alloc.Shares = make([][][]float64, d.ss.S())
@@ -471,7 +533,7 @@ func (d *driver) hierarchicalHint(sp *subproblem, n int) map[int][]bool {
 	// Deep-copy the fields driver.solve mutates: the pre-solve may run
 	// concurrently with other readers of sp, and a shallow struct copy
 	// would share the mutated slice headers' underlying arrays.
-	if err := scratch.solve(sp.clone(), spec, 0); err != nil {
+	if err := scratch.solve(sp.clone(), spec, 0, "h"); err != nil {
 		d.logf("core: hierarchical pre-solve failed: %v", err)
 		return nil
 	}

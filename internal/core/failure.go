@@ -115,8 +115,8 @@ func (d *driver) escalateIters(n int) int {
 // (suboptimal) allocation under the soft load-limit model. Infeasible or
 // malformed inputs still abort the run: degradation can't fix those, and
 // hiding them would report a broken allocation as a success.
-func (d *driver) solveWithPolicy(sp *subproblem, spec *ChunkSpec, hints ...map[int][]bool) (*solution, error) {
-	sol, err := sp.solve(d.mipOptions(), hints...)
+func (d *driver) solveWithPolicy(sp *subproblem, spec *ChunkSpec, ck *subCheckpoint, hints ...map[int][]bool) (*solution, error) {
+	sol, err := sp.solve(d.mipOptions(), ck, hints...)
 	if err == nil {
 		return sol, nil
 	}
@@ -127,7 +127,7 @@ func (d *driver) solveWithPolicy(sp *subproblem, spec *ChunkSpec, hints ...map[i
 		d.logf("core: split %v solve failed (%v); retrying with escalated iteration limits", spec, err)
 		retry := d.mipOptions()
 		retry.LP.MaxIters = d.escalateIters(retry.LP.MaxIters)
-		sol, err = sp.solve(retry, hints...)
+		sol, err = sp.solve(retry, ck, hints...)
 		if err == nil {
 			return sol, nil
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"fragalloc/internal/checkpoint"
 	"fragalloc/internal/mip"
 	"fragalloc/internal/model"
 	"fragalloc/internal/simplex"
@@ -480,10 +481,41 @@ type solution struct {
 
 // solve builds and solves the subproblem MIP. Each non-nil hint proposes an
 // additional starting placement (query → runnable per subnode), typically
-// from a hierarchical decomposition pre-solve or the greedy baseline.
-func (sp *subproblem) solve(opt mip.Options, hints ...map[int][]bool) (*solution, error) {
+// from a hierarchical decomposition pre-solve, the greedy baseline, or a
+// resumed journal record. ck, when non-nil, wires the durable journal into
+// the search: a journaled in-flight incumbent from a crashed run seeds the
+// restarted MIP, and the search's periodic Checkpoint callback writes fresh
+// incumbents back under the same subproblem id.
+func (sp *subproblem) solve(opt mip.Options, ck *subCheckpoint, hints ...map[int][]bool) (*solution, error) {
 	p, ix, intVars := sp.build(true)
 	opt.Rounding = sp.rounding(ix)
+	if ck != nil {
+		if m := ck.rec.MIP(ck.id); m != nil && len(m.X) == p.NumVars {
+			opt.Starts = append(opt.Starts, append([]float64(nil), m.X...))
+		}
+		opt.CheckpointEvery = ck.rec.Every()
+		rec, id := ck.rec, ck.id
+		opt.Checkpoint = func(snap mip.Snapshot) {
+			if !snap.HasIncumbent {
+				return
+			}
+			mr := &checkpoint.MIPRecord{
+				X:         snap.X,
+				Obj:       finite(snap.Obj),
+				RootBound: finite(snap.RootBound),
+				Nodes:     snap.Nodes,
+			}
+			for i, v := range mr.X {
+				mr.X[i] = finite(v)
+			}
+			for _, f := range snap.BestPath {
+				mr.Path = append(mr.Path, checkpoint.Fixing{Var: f.Var, LB: finite(f.LB), UB: finite(f.UB)})
+			}
+			// Best-effort: a full journal disk must not fail the solve. The
+			// recorder remembers the error for end-of-run reporting.
+			_ = rec.RecordMIP(id, mr)
+		}
+	}
 	if !sp.ablation.NoDive {
 		if start := sp.dive(ix, opt.LP); start != nil {
 			opt.Starts = append(opt.Starts, start)

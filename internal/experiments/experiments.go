@@ -16,6 +16,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"fragalloc/internal/accounting"
+	"fragalloc/internal/checkpoint"
 	"fragalloc/internal/core"
 	"fragalloc/internal/mip"
 	"fragalloc/internal/model"
@@ -65,6 +67,14 @@ type Config struct {
 	// (marked by gapMark) instead of losing the run. cmd/paper wires the
 	// -timeout flag and Ctrl-C here.
 	Canceled func() bool
+	// CheckpointDir, when set, journals every LP-based row's solve progress
+	// durably under CheckpointDir/<row-id> (DESIGN.md §3.9), so a crashed
+	// experiment run loses at most the work since the last checkpoint.
+	// Resume restarts each row from its journal: rows whose subproblems all
+	// proved optimal replay instantly and bit-identically, the rest
+	// warm-start. cmd/paper wires -checkpoint and -resume here.
+	CheckpointDir string
+	Resume        bool
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +205,28 @@ func runRows(rowPar, n int, work func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// rowRecorder opens the durable journal for one table row, or returns nil
+// when checkpointing is off. Every row gets its own subdirectory: the rows
+// solve different models (different K, F, scenario sets), and a checkpoint
+// journal binds to exactly one model fingerprint.
+func (c Config) rowRecorder(rowID string) (*checkpoint.Recorder, error) {
+	if c.CheckpointDir == "" {
+		return nil, nil
+	}
+	st, err := checkpoint.Open(filepath.Join(c.CheckpointDir, rowID))
+	if err != nil {
+		return nil, err
+	}
+	var prev *checkpoint.Snapshot
+	if c.Resume {
+		prev, err = st.Load()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return checkpoint.NewRecorder(st, prev, 0), nil
 }
 
 // newTable returns a tabwriter for aligned output.

@@ -61,8 +61,13 @@ func Fig2(cfg Config, perScenario bool) error {
 		}
 		seen := scenario.InSample(w, s, scenario.DefaultP, cfg.Seed)
 		if ours {
+			rec, err := cfg.rowRecorder(fmt.Sprintf("fig2-s%d", s))
+			if err != nil {
+				return err
+			}
 			res, err := core.Allocate(w, seen, table3K, core.Options{
 				Chunks: spec, FixedQueries: 47, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
+				Checkpoint: rec,
 			})
 			if err != nil {
 				return fmt.Errorf("fig2 ours S=%d: %w", s, err)

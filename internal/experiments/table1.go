@@ -82,8 +82,13 @@ func Table1(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		rec, err := cfg.rowRecorder(fmt.Sprintf("table1-k%d-%s", row.k, row.chunks))
+		if err != nil {
+			return err
+		}
 		res, err := core.Allocate(w, ss, row.k, core.Options{
 			Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
+			Checkpoint: rec,
 		})
 		if err != nil {
 			return fmt.Errorf("table1 K=%d chunks=%s: %w", row.k, row.chunks, err)

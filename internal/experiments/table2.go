@@ -83,8 +83,13 @@ func Table2(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		rec, err := cfg.rowRecorder(fmt.Sprintf("table2-k%d-f%d", row.k, row.f))
+		if err != nil {
+			return err
+		}
 		res, err := core.Allocate(w, ss, row.k, core.Options{
 			Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
+			Checkpoint: rec,
 		})
 		if err != nil {
 			return fmt.Errorf("table2 K=%d F=%d: %w", row.k, row.f, err)
@@ -93,8 +98,13 @@ func Table2(cfg Config) error {
 		wd := "n/a"
 		note := gapMark(res)
 		if withWD {
+			drec, err := cfg.rowRecorder(fmt.Sprintf("table2-k%d-f%d-wd", row.k, row.f))
+			if err != nil {
+				return err
+			}
 			dres, err := core.Allocate(w, ss, row.k, core.Options{
 				Chunks: spec, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
+				Checkpoint: drec,
 			})
 			if err != nil {
 				return err

@@ -98,8 +98,13 @@ func Table3(cfg Config) error {
 			note      string
 		)
 		if row.f >= 0 {
+			rec, err := cfg.rowRecorder(fmt.Sprintf("table3-s%d-f%d", row.s, row.f))
+			if err != nil {
+				return err
+			}
 			res, err := core.Allocate(w, seen, table3K, core.Options{
 				Chunks: spec, FixedQueries: row.f, Parallelism: innerPar, MIP: cfg.mipOptions(), Logf: logf, Canceled: cfg.Canceled,
+				Checkpoint: rec,
 			})
 			if err != nil {
 				return fmt.Errorf("table3 S=%d F=%d: %w", row.s, row.f, err)

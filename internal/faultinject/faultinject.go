@@ -4,7 +4,11 @@
 // mip.Options.LP / core.Options.MIP.LP) and force refactorization failures,
 // simplex stalls, and deadline expiry at chosen call indices — exercising
 // every rung of the simplex recovery ladder and every degradation path of
-// the decomposition driver by construction rather than by luck.
+// the decomposition driver by construction rather than by luck. It also
+// implements checkpoint.FaultInjector: deterministic kill points
+// (panic/os.Exit after the Nth durable checkpoint save) and torn-write
+// simulation (the Nth save truncated mid-payload before its rename), so
+// crash-recovery is tested the same seed-driven way (DESIGN.md §3.9).
 //
 // An Injector counts calls per hook and fires according to its Plan. All
 // counters are mutex-protected: the decomposition driver shares one
@@ -13,9 +17,18 @@
 package faultinject
 
 import (
+	"errors"
 	"math/rand"
+	"os"
 	"sync"
 )
+
+// ErrKilled is the panic value kill points throw when the plan's
+// checkpoint-kill index fires with KillExit unset. Crash tests recover it
+// on the driving goroutine to simulate a hard process death without
+// leaving the test binary; everything below the recover point is
+// abandoned mid-flight, exactly as a real crash would leave it.
+var ErrKilled = errors.New("faultinject: killed at checkpoint")
 
 // Plan says at which call indices (0-based, per hook) an Injector fires.
 // The zero value injects nothing.
@@ -33,6 +46,23 @@ type Plan struct {
 	// greedy degradation: no LP ever factorizes, so every rung of every
 	// ladder fails.
 	AllRefactors bool
+	// KillAtCheckpoint, when > 0, kills the process right after the Nth
+	// checkpoint save completes (1-based): the Nth generation is already
+	// durable on disk, all work after it is lost — the canonical crash
+	// point for resume tests. The kill is a panic(ErrKilled) by default, or
+	// os.Exit(137) with KillExit, which is SIGKILL-equivalent: no deferred
+	// functions run, nothing winds down.
+	KillAtCheckpoint int
+	// KillExit selects os.Exit(137) over panic(ErrKilled) for kill points.
+	// Only subprocess-based tests can use it; in-process tests recover the
+	// panic instead.
+	KillExit bool
+	// TornWriteAtCheckpoint, when > 0, truncates the Nth checkpoint's temp
+	// file mid-payload before it is renamed into place, then kills the
+	// process like KillAtCheckpoint: the newest generation on disk is torn,
+	// so a resuming loader must reject it by CRC and fall back to the
+	// previous generation.
+	TornWriteAtCheckpoint int
 }
 
 // Injector implements simplex.FaultInjector plus a Canceled hook. Safe for
@@ -47,6 +77,7 @@ type Injector struct {
 	refactors int
 	stalls    int
 	cancels   int
+	saves     int
 }
 
 // New builds an Injector executing plan.
@@ -120,6 +151,43 @@ func (in *Injector) Canceled() bool {
 	}
 	in.cancels++
 	return in.cancels >= in.plan.CancelAfter
+}
+
+// BeforeRename implements checkpoint.FaultInjector (structurally, like the
+// simplex hooks): it counts the save and reports whether this one should be
+// torn mid-payload before the rename.
+func (in *Injector) BeforeRename() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.saves++
+	return in.plan.TornWriteAtCheckpoint > 0 && in.saves == in.plan.TornWriteAtCheckpoint
+}
+
+// AfterSave implements checkpoint.FaultInjector: once the Nth save is
+// durable (renamed and directory-synced), the kill point fires. Torn saves
+// kill at the same index — a torn write without a crash would be a
+// contradiction, since the run would immediately overwrite it.
+func (in *Injector) AfterSave() {
+	in.mu.Lock()
+	n := in.saves
+	kill := (in.plan.KillAtCheckpoint > 0 && n == in.plan.KillAtCheckpoint) ||
+		(in.plan.TornWriteAtCheckpoint > 0 && n == in.plan.TornWriteAtCheckpoint)
+	exit := in.plan.KillExit
+	in.mu.Unlock()
+	if !kill {
+		return
+	}
+	if exit {
+		os.Exit(137)
+	}
+	panic(ErrKilled)
+}
+
+// Saves reports how many checkpoint saves the injector has observed.
+func (in *Injector) Saves() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.saves
 }
 
 // Counts reports how many times each hook has been consulted — useful for

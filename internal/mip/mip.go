@@ -161,6 +161,17 @@ type Options struct {
 	// (StatusFeasible), or StatusNoSolution when none was found yet — never
 	// an error.
 	Canceled func() bool
+	// Checkpoint, when non-nil, periodically receives a Snapshot of the
+	// search state: at node boundaries and — piggybacked on the same chunked
+	// wall-clock polling that serves TimeLimit — inside long inner LP
+	// solves, so even a single multi-minute LP checkpoints on schedule. The
+	// callback observes the search without influencing it (the snapshot's
+	// slices are copies), so a checkpointed solve is bit-identical to an
+	// unobserved one. Called only from the goroutine driving Solve.
+	Checkpoint func(Snapshot)
+	// CheckpointEvery is the minimum interval between Checkpoint calls
+	// (default 30s). Only consulted when Checkpoint is non-nil.
+	CheckpointEvery time.Duration
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -175,7 +186,39 @@ func (o Options) withDefaults() Options {
 	if o.RoundingEvery == 0 {
 		o.RoundingEvery = 50
 	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 30 * time.Second
+	}
 	return o
+}
+
+// Snapshot is the warm-resume state a Checkpoint callback receives: the
+// incumbent (a copy), the branching decisions of the path that produced it,
+// and the proven root bound. It is enough to warm-resume a crashed search —
+// inject X as a starting proposal and re-expand the frontier from the root
+// — without journaling the entire open-node heap.
+type Snapshot struct {
+	// HasIncumbent reports whether X/Obj/BestPath are meaningful.
+	HasIncumbent bool
+	// X is a copy of the incumbent solution (length NumVars).
+	X []float64
+	// Obj is the incumbent objective value.
+	Obj float64
+	// RootBound is the root relaxation's proven lower bound.
+	RootBound float64
+	// BestPath lists the branching decisions (bound fixings relative to the
+	// root) of the node that produced the incumbent; empty for incumbents
+	// from heuristic proposals, which need no path to reproduce.
+	BestPath []Fixing
+	// Nodes and LPIters mirror Result's progress counters at snapshot time.
+	Nodes   int
+	LPIters int
+}
+
+// Fixing is one branching decision: variable Var restricted to [LB, UB].
+type Fixing struct {
+	Var    int
+	LB, UB float64
 }
 
 // defaultOrZero resolves the tolerance convention of Options: zero means
@@ -232,6 +275,11 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 	if opt.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opt.TimeLimit)
 	}
+	if opt.Checkpoint != nil {
+		// Start the interval now so the first mid-solve checkpoint fires
+		// after CheckpointEvery, not immediately.
+		s.lastCkpt = time.Now()
+	}
 	// Chain the search's stop conditions into the LP options before any
 	// simplex solver is built (s.lp here, s.heur lazily), so a deadline or a
 	// caller cancellation interrupts even a single long LP solve.
@@ -248,13 +296,15 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 // solve: any caller-provided hooks are consulted on every poll, and the
 // wall-clock deadline every pollEvery-th poll, so a TimeLimit expiry is
 // detected within a bounded number of simplex iterations even in the middle
-// of one LP solve. When the search has no stop conditions the caller's hook
-// (possibly nil) is returned unchanged, keeping budget-free solves free of
-// clock reads and bit-identical to earlier versions. The closure is only
-// ever called from the goroutine driving this Solve, so the plain counter
-// is safe.
+// of one LP solve. The same chunked clock reads drive the periodic
+// Checkpoint callback, so a long LP checkpoints on schedule without extra
+// instrumentation. When the search has no stop conditions and no checkpoint
+// hook the caller's hook (possibly nil) is returned unchanged, keeping
+// budget-free solves free of clock reads and bit-identical to earlier
+// versions. The closure is only ever called from the goroutine driving this
+// Solve, so the plain counter is safe.
 func (s *search) lpStopHook(inner func() bool) func() bool {
-	if s.deadline.IsZero() && s.opt.Canceled == nil {
+	if s.deadline.IsZero() && s.opt.Canceled == nil && s.opt.Checkpoint == nil {
 		return inner
 	}
 	const pollEvery = 32
@@ -266,15 +316,48 @@ func (s *search) lpStopHook(inner func() bool) func() bool {
 		if s.opt.Canceled != nil && s.opt.Canceled() {
 			return true
 		}
-		if s.deadline.IsZero() {
+		if s.deadline.IsZero() && s.opt.Checkpoint == nil {
 			return false
 		}
 		polls++
 		if polls%pollEvery != 0 {
 			return false
 		}
-		return time.Now().After(s.deadline)
+		now := time.Now()
+		s.maybeCheckpoint(now)
+		return !s.deadline.IsZero() && now.After(s.deadline)
 	}
+}
+
+// maybeCheckpoint invokes the Checkpoint callback when at least
+// CheckpointEvery has elapsed since the last one. Called only from the
+// goroutine driving this Solve; the callback observes a copy of the
+// incumbent and cannot perturb the search.
+func (s *search) maybeCheckpoint(now time.Time) {
+	if s.opt.Checkpoint == nil || now.Sub(s.lastCkpt) < s.opt.CheckpointEvery {
+		return
+	}
+	s.lastCkpt = now
+	s.opt.Checkpoint(s.snapshot())
+}
+
+// snapshot captures the warm-resume state of the search.
+func (s *search) snapshot() Snapshot {
+	snap := Snapshot{
+		HasIncumbent: s.hasInc,
+		RootBound:    s.rootBound,
+		Nodes:        s.nodes,
+		LPIters:      s.lpIters,
+	}
+	if s.hasInc {
+		snap.X = append([]float64(nil), s.incumbent...)
+		snap.Obj = s.incObj
+		snap.BestPath = make([]Fixing, len(s.incPath))
+		for i, f := range s.incPath {
+			snap.BestPath[i] = Fixing{Var: f.j, LB: f.lb, UB: f.ub}
+		}
+	}
+	return snap
 }
 
 type search struct {
@@ -287,6 +370,9 @@ type search struct {
 	incumbent   []float64
 	incObj      float64
 	hasInc      bool
+	incPath     []fixing // branching path of the incumbent (nil for heuristic ones)
+	rootBound   float64
+	lastCkpt    time.Time // last Checkpoint callback (driving goroutine only)
 	nodes       int
 	lpIters     int // simplex pivots across all inner LP solves
 	lastImprove int // node count at the last incumbent improvement
@@ -392,16 +478,20 @@ func (s *search) tryProposal(proposal []float64) {
 		s.incumbent = append([]float64(nil), res.X...)
 		s.incObj = res.Obj
 		s.hasInc = true
+		s.incPath = nil // heuristic incumbents carry no branching path
 		s.lastImprove = s.nodes
 		s.logf("mip: rounding incumbent obj=%.6f", res.Obj)
 	}
 }
 
-func (s *search) accept(x []float64, obj float64) {
+// accept adopts an improving integral node solution as the incumbent; path
+// is the node's branching path, journaled into checkpoint snapshots.
+func (s *search) accept(x []float64, obj float64, path []fixing) {
 	if !s.hasInc || obj < s.incObj-s.opt.AbsGap {
 		s.incumbent = append([]float64(nil), x...)
 		s.incObj = obj
 		s.hasInc = true
+		s.incPath = clonePath(path)
 		s.lastImprove = s.nodes
 		s.logf("mip: incumbent obj=%.6f after %d nodes", obj, s.nodes)
 	}
@@ -448,6 +538,7 @@ func (s *search) run() (*Result, error) {
 		return nil, fmt.Errorf("mip: root relaxation failed with status %v", res.Status)
 	}
 	rootBound := res.Obj
+	s.rootBound = rootBound
 	s.logf("mip: root relaxation obj=%.6f after %d iters", res.Obj, res.Iters)
 	for _, start := range s.opt.Starts {
 		s.tryProposal(start)
@@ -459,6 +550,9 @@ func (s *search) run() (*Result, error) {
 	heap.Push(open, &node{bound: rootBound})
 
 	for !open.empty() {
+		if s.opt.Checkpoint != nil {
+			s.maybeCheckpoint(time.Now())
+		}
 		globalBound := math.Min(open.peekBound(), s.skippedBound)
 		if s.hasInc {
 			globalBound = math.Min(globalBound, s.incObj)
@@ -554,7 +648,7 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 		}
 		branch := s.fractionalVar(res.X)
 		if branch == -1 {
-			s.accept(res.X, bound)
+			s.accept(res.X, bound, nd.path)
 			return
 		}
 		if s.opt.Rounding != nil && s.nodes%s.opt.RoundingEvery == 0 {

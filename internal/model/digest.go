@@ -1,0 +1,57 @@
+package model
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Digest returns a stable FNV-1a fingerprint of the workload: every
+// fragment size, query fragment list, cost, and frequency feeds the hash in
+// slice order, with floats hashed by their exact bit patterns. Two
+// workloads digest equally iff the solver sees identical inputs, which is
+// what the checkpoint subsystem's run keys need — a resumed journal must
+// describe the same model, not merely one with the same name.
+func (w *Workload) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(uint64(len(w.Fragments)))
+	for _, f := range w.Fragments {
+		f64(f.Size)
+	}
+	u64(uint64(len(w.Queries)))
+	for _, q := range w.Queries {
+		u64(uint64(len(q.Fragments)))
+		for _, i := range q.Fragments {
+			u64(uint64(i))
+		}
+		f64(q.Cost)
+		f64(q.Frequency)
+	}
+	return h.Sum64()
+}
+
+// Digest returns a stable FNV-1a fingerprint of the scenario set: the exact
+// bit patterns of every frequency, in scenario and query order.
+func (ss *ScenarioSet) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(len(ss.Frequencies)))
+	for _, freq := range ss.Frequencies {
+		u64(uint64(len(freq)))
+		for _, f := range freq {
+			u64(math.Float64bits(f))
+		}
+	}
+	return h.Sum64()
+}

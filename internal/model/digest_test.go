@@ -1,0 +1,78 @@
+package model
+
+import "testing"
+
+func digestWorkload() *Workload {
+	return &Workload{
+		Fragments: []Fragment{
+			{ID: 0, Size: 10},
+			{ID: 1, Size: 20.5},
+			{ID: 2, Size: 3},
+		},
+		Queries: []Query{
+			{ID: 0, Fragments: []int{0, 1}, Cost: 5, Frequency: 2},
+			{ID: 1, Fragments: []int{2}, Cost: 1.5, Frequency: 7},
+		},
+	}
+}
+
+// TestWorkloadDigestStable checks the digest is a pure function of the
+// solver-visible inputs: repeated calls and structurally equal copies agree.
+func TestWorkloadDigestStable(t *testing.T) {
+	w := digestWorkload()
+	d := w.Digest()
+	if d != w.Digest() {
+		t.Fatal("Digest is not deterministic across calls")
+	}
+	if got := digestWorkload().Digest(); got != d {
+		t.Fatalf("structurally equal workload digests differ: %x vs %x", got, d)
+	}
+	// Names are display-only and deliberately excluded.
+	named := digestWorkload()
+	named.Name = "renamed"
+	named.Fragments[0].Name = "store_sales.ss_item_sk"
+	if got := named.Digest(); got != d {
+		t.Errorf("renaming changed the digest: %x vs %x", got, d)
+	}
+}
+
+// TestWorkloadDigestSensitive mutates each solver-visible field in turn and
+// checks the digest moves: a stale journal must not bind to a changed model.
+func TestWorkloadDigestSensitive(t *testing.T) {
+	base := digestWorkload().Digest()
+	mutations := map[string]func(*Workload){
+		"fragment size":       func(w *Workload) { w.Fragments[1].Size = 21 },
+		"fragment count":      func(w *Workload) { w.Fragments = w.Fragments[:2] },
+		"query fragment list": func(w *Workload) { w.Queries[0].Fragments = []int{0, 2} },
+		"query cost":          func(w *Workload) { w.Queries[1].Cost = 1.25 },
+		"query frequency":     func(w *Workload) { w.Queries[0].Frequency = 3 },
+		"query count":         func(w *Workload) { w.Queries = w.Queries[:1] },
+	}
+	for name, mutate := range mutations {
+		w := digestWorkload()
+		mutate(w)
+		if w.Digest() == base {
+			t.Errorf("%s: digest unchanged after mutation", name)
+		}
+	}
+}
+
+func TestScenarioSetDigest(t *testing.T) {
+	ss := &ScenarioSet{Frequencies: [][]float64{{1, 2, 3}, {4, 5, 6}}}
+	d := ss.Digest()
+	if d != ss.Digest() {
+		t.Fatal("Digest is not deterministic across calls")
+	}
+	same := &ScenarioSet{Frequencies: [][]float64{{1, 2, 3}, {4, 5, 6}}}
+	if same.Digest() != d {
+		t.Fatal("structurally equal scenario sets digest differently")
+	}
+	changed := &ScenarioSet{Frequencies: [][]float64{{1, 2, 3}, {4, 5, 7}}}
+	if changed.Digest() == d {
+		t.Error("changing one frequency left the digest unchanged")
+	}
+	reshaped := &ScenarioSet{Frequencies: [][]float64{{1, 2, 3, 4, 5, 6}}}
+	if reshaped.Digest() == d {
+		t.Error("reshaping scenarios left the digest unchanged (length framing failed)")
+	}
+}
