@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race fault crash bench benchcompile bench-paper
+.PHONY: check fmt-check vet fragvet build test race fault crash bench benchcompile bench-mip bench-paper
 
 check: fmt-check vet fragvet build benchcompile fault crash race
 
@@ -59,6 +59,15 @@ benchcompile:
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./internal/simplex \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_simplex.json
+
+# Branch-and-bound accelerator benchmarks (presolve/pseudocost/Devex,
+# feat=on vs the pre-feature feat=off baseline), recorded as BENCH_mip.json
+# with derived node/iteration reduction ratios (cmd/benchjson). The new
+# benchmark also runs — once, via -benchtime 1x -short — under the
+# `benchcompile` rot guard in `make check`.
+bench-mip:
+	$(GO) test -run NONE -bench BenchmarkMIPSearch -benchmem ./internal/core \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_mip.json
 
 # Paper-scale table/figure benchmarks (the pre-existing root suite).
 bench-paper:

@@ -1,8 +1,11 @@
 // Command benchjson converts `go test -bench -benchmem` text output (read
 // from stdin) into a JSON artifact, pairing kern=lu/kern=dense benchmark
-// variants into derived speedup and memory ratios. `make bench` uses it to
-// produce BENCH_simplex.json, the recorded evidence for the sparse-kernel
-// performance claims in DESIGN.md §3.8.
+// variants into derived speedup and memory ratios and feat=on/feat=off
+// variants into search-effort reduction ratios. `make bench` uses it to
+// produce BENCH_simplex.json (the sparse-kernel evidence for DESIGN.md
+// §3.8) and `make bench-mip` to produce BENCH_mip.json (the presolve/
+// pseudocost/Devex evidence for DESIGN.md §3.10). Custom b.ReportMetric
+// units such as nodes/op and lpiters/op are preserved per benchmark.
 //
 // Usage:
 //
@@ -27,6 +30,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric columns (e.g. "nodes/op",
+	// "lpiters/op") keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Derived compares the kern=lu and kern=dense variants of one benchmark.
@@ -38,14 +44,28 @@ type Derived struct {
 	MemRatio float64 `json:"memory_ratio_dense_vs_lu,omitempty"`
 }
 
+// FeatureDerived compares the feat=on and feat=off variants of one
+// benchmark: ratios >1 mean the accelerated (on) configuration does less
+// work, resp. finishes faster.
+type FeatureDerived struct {
+	Benchmark string `json:"benchmark"`
+	// SpeedupOn is off ns/op divided by on ns/op.
+	SpeedupOn float64 `json:"speedup_on_vs_off"`
+	// NodesRatio is off nodes/op divided by on nodes/op; LPItersRatio the
+	// same for lpiters/op. Both are omitted when the metric is absent.
+	NodesRatio   float64 `json:"nodes_ratio_off_vs_on,omitempty"`
+	LPItersRatio float64 `json:"lpiters_ratio_off_vs_on,omitempty"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
-	CPU        string      `json:"cpu,omitempty"`
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Package    string      `json:"pkg,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	Derived    []Derived   `json:"derived,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	GoOS       string           `json:"goos,omitempty"`
+	GoArch     string           `json:"goarch,omitempty"`
+	Package    string           `json:"pkg,omitempty"`
+	Benchmarks []Benchmark      `json:"benchmarks"`
+	Derived    []Derived        `json:"derived,omitempty"`
+	Features   []FeatureDerived `json:"feature_derived,omitempty"`
 }
 
 func main() {
@@ -100,6 +120,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		return nil, fmt.Errorf("no benchmark result lines on stdin")
 	}
 	rep.Derived = derive(rep.Benchmarks)
+	rep.Features = deriveFeatures(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -126,15 +147,20 @@ func parseLine(line string) (Benchmark, bool) {
 	}
 	b := Benchmark{Name: name, Iters: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "B/op":
-			b.BytesPerOp = v
+			b.BytesPerOp = int64(v)
 		case "allocs/op":
-			b.AllocsPerOp = v
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
 		}
 	}
 	return b, true
@@ -180,6 +206,55 @@ func derive(bs []Benchmark) []Derived {
 		d := Derived{Benchmark: name, SpeedupLU: round2(p.dense.NsPerOp / p.lu.NsPerOp)}
 		if p.lu.BytesPerOp > 0 && p.dense.BytesPerOp > 0 {
 			d.MemRatio = round2(float64(p.dense.BytesPerOp) / float64(p.lu.BytesPerOp))
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// deriveFeatures pairs */feat=on with */feat=off results.
+func deriveFeatures(bs []Benchmark) []FeatureDerived {
+	type pair struct{ on, off *Benchmark }
+	pairs := map[string]*pair{}
+	for i := range bs {
+		b := &bs[i]
+		var base string
+		var isOn bool
+		switch {
+		case strings.Contains(b.Name, "feat=on"):
+			base, isOn = strings.ReplaceAll(b.Name, "/feat=on", ""), true
+		case strings.Contains(b.Name, "feat=off"):
+			base = strings.ReplaceAll(b.Name, "/feat=off", "")
+		default:
+			continue
+		}
+		p := pairs[base]
+		if p == nil {
+			p = &pair{}
+			pairs[base] = p
+		}
+		if isOn {
+			p.on = b
+		} else {
+			p.off = b
+		}
+	}
+	var names []string
+	for name, p := range pairs {
+		if p.on != nil && p.off != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []FeatureDerived
+	for _, name := range names {
+		p := pairs[name]
+		d := FeatureDerived{Benchmark: name, SpeedupOn: round2(p.off.NsPerOp / p.on.NsPerOp)}
+		if on, off := p.on.Metrics["nodes/op"], p.off.Metrics["nodes/op"]; on > 0 && off > 0 {
+			d.NodesRatio = round2(off / on)
+		}
+		if on, off := p.on.Metrics["lpiters/op"], p.off.Metrics["lpiters/op"]; on > 0 && off > 0 {
+			d.LPItersRatio = round2(off / on)
 		}
 		out = append(out, d)
 	}

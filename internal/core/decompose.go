@@ -97,6 +97,10 @@ type Result struct {
 	// units); Exact is true when every subproblem was solved to proven
 	// optimality.
 	BBNodes int
+	// LPIters is the total simplex iteration count across all subproblem
+	// LP relaxations and re-solves — with BBNodes, the pair benchmarks
+	// how hard the searches worked independent of wall clock.
+	LPIters int
 	MaxGap  float64
 	Exact   bool
 	// FixedQueries lists the queries pinned to node 0 by partial
@@ -219,6 +223,7 @@ func Allocate(w *model.Workload, ss *model.ScenarioSet, k int, opt Options) (*Re
 		MaxLoad:       d.maxLoad,
 		SolveTime:     time.Since(start),
 		BBNodes:       d.nodes,
+		LPIters:       d.lpiters,
 		MaxGap:        d.maxGap,
 		Exact:         d.exact,
 		FixedQueries:  fixed,
@@ -307,6 +312,7 @@ type driver struct {
 	maxLoad       float64
 	maxGap        float64
 	nodes         int
+	lpiters       int
 	exact         bool
 	outcomes      OutcomeCounts
 	degradedBytes float64
@@ -327,6 +333,7 @@ func (d *driver) recordSolution(sol *solution) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.nodes += sol.nodes
+	d.lpiters += sol.lpiters
 	d.maxGap = math.Max(d.maxGap, sol.gap)
 	d.maxLoad = math.Max(d.maxLoad, sol.l)
 	d.exact = d.exact && sol.exact

@@ -45,9 +45,11 @@ const kernelGap = 1e-3
 //     their branch-and-bound searches visit different vertices and may
 //     return different optimal *placements*; the invariant across the swap
 //     is the objective. Both runs solve every subproblem to proven
-//     optimality within kernelGap, so each W sits within kernelGap
-//     (relative) of the true optimum and the two can differ by at most
-//     2*kernelGap.
+//     optimality within kernelGap — but the certificate is relative to
+//     the subproblem objective W/V + αL with α=1000 and L≈1, so the
+//     permitted absolute slack is roughly kernelGap·α ≈ 1.0 W/V units
+//     per subproblem: percent-level W differences are within certificate
+//     (the same derivation as featureSwapTol in featureswap_test.go).
 func TestKernelSwapRegression(t *testing.T) {
 	cases := []struct {
 		name string
@@ -100,10 +102,11 @@ func TestKernelSwapRegression(t *testing.T) {
 				t.Fatalf("objective comparison needs proven optima: LU exact=%v gap=%g, dense exact=%v gap=%g",
 					lu1.Exact, lu1.MaxGap, dense.Exact, dense.MaxGap)
 			}
-			// Each kernel's objective is within kernelGap (relative) of the
-			// true optimum, so the two agree to 2*kernelGap; pad slightly
-			// for the max(1,·) scaling inside the MIP's gap test.
-			tol := 2.5 * kernelGap
+			// See the slack derivation in the doc comment: certified runs
+			// at kernelGap can legitimately differ by ~1.0 W/V units per
+			// subproblem; 0.03 relative stays far below that worst case
+			// while still catching systematic quality regressions.
+			tol := 0.03
 			if d := relDiff(lu1.W, dense.W); d > tol {
 				t.Errorf("W: LU %v vs dense baseline %v (rel diff %g)", lu1.W, dense.W, d)
 			}

@@ -399,6 +399,14 @@ func (sp *subproblem) canonicalize(out []float64, ix *indices, classes [][]int, 
 // first incumbent (mip.Options.Start).
 func (sp *subproblem) dive(ix *indices, lp simplex.Options) []float64 {
 	p, _, _ := sp.build(false)
+	// The dive's fix thresholds (0.5 / 0.02 / 0.05) read the *vertex* the LP
+	// returns, and degenerate relaxations have many optimal vertices — which
+	// one surfaces depends on the pricing rule's pivot order. Pin the
+	// heuristic to the baseline rule so its proposal quality is a property of
+	// the model, not of whichever pricing the session selected for speed
+	// (the branch-and-bound re-solves, where pricing matters, still use the
+	// configured rule).
+	lp.Pricing = simplex.PricingDantzig
 	s, err := simplex.NewSolver(p, lp)
 	if err != nil {
 		return nil
@@ -468,10 +476,11 @@ type solution struct {
 	// gap is the absolute objective gap (incumbent − proven bound). Since
 	// the objective is W/V + αL and optima balance (L = 1) like the
 	// incumbents, it bounds the memory suboptimality in W/V units.
-	gap    float64
-	nodes  int
-	exact  bool
-	status mip.Status
+	gap     float64
+	nodes   int
+	lpiters int
+	exact   bool
+	status  mip.Status
 	// outcome classifies the solve for the failure policy; extraBytes is
 	// nonzero only for degraded solutions (allocated bytes beyond the
 	// single-copy floor, feeding Result.DegradedDelta).
@@ -600,13 +609,14 @@ func (sp *subproblem) solve(opt mip.Options, ck *subCheckpoint, hints ...map[int
 func (sp *subproblem) decode(ix *indices, res *mip.Result) *solution {
 	b := ix.b
 	sol := &solution{
-		yes:    make(map[int][]bool, len(sp.flexQ)),
-		z:      make(map[[2]int][]float64, len(ix.z)),
-		l:      res.X[ix.l],
-		gap:    math.Max(0, res.Obj-res.Bound),
-		nodes:  res.Nodes,
-		exact:  res.Exact && res.Status == mip.StatusOptimal,
-		status: res.Status,
+		yes:     make(map[int][]bool, len(sp.flexQ)),
+		z:       make(map[[2]int][]float64, len(ix.z)),
+		l:       res.X[ix.l],
+		gap:     math.Max(0, res.Obj-res.Bound),
+		nodes:   res.Nodes,
+		lpiters: res.LPIters,
+		exact:   res.Exact && res.Status == mip.StatusOptimal,
+		status:  res.Status,
 	}
 	if res.Status == mip.StatusOptimal {
 		sol.outcome = OutcomeOptimal

@@ -1,0 +1,182 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fragalloc/internal/simplex"
+)
+
+// goldenInstance builds a seeded random binary knapsack-with-covering MIP.
+// The generator is frozen: TestAllOffGolden pins the all-features-off
+// configuration to search statistics captured from the solver BEFORE
+// presolve, pseudocost branching, and Devex pricing existed, so it must
+// keep producing bit-identical instances.
+func goldenInstance(seed int64) (*simplex.Problem, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &simplex.Problem{}
+	n := 14
+	var idx []int
+	var wts []float64
+	for j := 0; j < n; j++ {
+		idx = append(idx, p.AddVar(0, 1, -math.Round(rng.Float64()*40)/4))
+		wts = append(wts, 1+math.Round(rng.Float64()*12)/4)
+	}
+	p.AddRow(idx, wts, simplex.LE, 0.31*sumFloats(wts))
+	for r := 0; r < 4; r++ {
+		var ci []int
+		var cc []float64
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				ci = append(ci, j)
+				cc = append(cc, 1)
+			}
+		}
+		if len(ci) >= 2 {
+			p.AddRow(ci, cc, simplex.GE, 1)
+		}
+	}
+	return p, idx
+}
+
+func sumFloats(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+func allOff() Options {
+	return Options{
+		DisablePresolve:   true,
+		DisablePseudocost: true,
+		LP:                simplex.Options{Pricing: simplex.PricingDantzig},
+	}
+}
+
+// xhash is an order-sensitive fingerprint of a solution vector; on these
+// instances the optima are integral, so it is exact.
+func xhash(x []float64) float64 {
+	var h float64
+	for j, v := range x {
+		h += v * float64(j+1)
+	}
+	return h
+}
+
+// TestAllOffGolden pins the all-features-off configuration (presolve off,
+// pseudocost off, Dantzig pricing) to the exact node counts, LP iteration
+// counts, objectives, and solution fingerprints the solver produced before
+// this PR introduced the features. Any drift here means the "off" switches
+// no longer reproduce the historical search bit-identically.
+func TestAllOffGolden(t *testing.T) {
+	golden := []struct {
+		seed           int64
+		obj            float64
+		nodes, lpiters int
+		hash           float64
+	}{
+		{seed: 3, obj: -41.25, nodes: 109, lpiters: 254, hash: 33},
+		{seed: 17, obj: -38.75, nodes: 81, lpiters: 128, hash: 33},
+		{seed: 41, obj: -40.25, nodes: 36, lpiters: 61, hash: 47},
+	}
+	for _, g := range golden {
+		p, ints := goldenInstance(g.seed)
+		res, err := Solve(p, ints, allOff())
+		if err != nil {
+			t.Fatalf("seed %d: %v", g.seed, err)
+		}
+		if res.Status != StatusOptimal {
+			t.Fatalf("seed %d: status %v", g.seed, res.Status)
+		}
+		//fragvet:ignore floatcmp — golden regression pin: the all-off configuration must reproduce the pre-feature solver bit-identically
+		if res.Obj != g.obj || res.Nodes != g.nodes || res.LPIters != g.lpiters || xhash(res.X) != g.hash {
+			t.Errorf("seed %d: got obj=%v nodes=%d lpiters=%d hash=%v, want obj=%v nodes=%d lpiters=%d hash=%v",
+				g.seed, res.Obj, res.Nodes, res.LPIters, xhash(res.X), g.obj, g.nodes, g.lpiters, g.hash)
+		}
+	}
+}
+
+// TestFeaturesMatchBaseline cross-checks the default configuration (all
+// features on) against the all-off baseline on a pile of seeded instances:
+// both must agree on feasibility and, at proven optimality, on the
+// objective. The features may only change how fast the tree collapses,
+// never what it proves.
+func TestFeaturesMatchBaseline(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p, ints := goldenInstance(seed)
+		on, err := Solve(p, ints, Options{})
+		if err != nil {
+			t.Fatalf("seed %d on: %v", seed, err)
+		}
+		off, err := Solve(p, ints, allOff())
+		if err != nil {
+			t.Fatalf("seed %d off: %v", seed, err)
+		}
+		if on.Status != off.Status {
+			t.Fatalf("seed %d: status on=%v off=%v", seed, on.Status, off.Status)
+		}
+		if on.Status != StatusOptimal {
+			continue
+		}
+		if math.Abs(on.Obj-off.Obj) > 1e-6*(1+math.Abs(off.Obj)) {
+			t.Errorf("seed %d: obj on=%v off=%v", seed, on.Obj, off.Obj)
+		}
+		if len(on.X) != p.NumVars {
+			t.Errorf("seed %d: X length %d, want original NumVars %d", seed, len(on.X), p.NumVars)
+		}
+	}
+}
+
+// TestFeaturesDeterministic runs the default configuration twice on the
+// same instance and requires bit-identical results — the features keep the
+// PR 1 determinism contract.
+func TestFeaturesDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 41} {
+		p, ints := goldenInstance(seed)
+		a, err := Solve(p, ints, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(p, ints, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		//fragvet:ignore floatcmp — determinism contract: two identical solves must agree bit-for-bit
+		if a.Obj != b.Obj || a.Nodes != b.Nodes || a.LPIters != b.LPIters || xhash(a.X) != xhash(b.X) {
+			t.Errorf("seed %d: run 1 (obj=%v nodes=%d iters=%d) != run 2 (obj=%v nodes=%d iters=%d)",
+				seed, a.Obj, a.Nodes, a.LPIters, b.Obj, b.Nodes, b.LPIters)
+		}
+	}
+}
+
+// TestPerFeatureToggles solves one instance with each feature disabled in
+// isolation; every configuration must prove the same optimum.
+func TestPerFeatureToggles(t *testing.T) {
+	p, ints := goldenInstance(7)
+	want, err := Solve(p, ints, allOff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		opt  Options
+	}{
+		{"no-presolve", Options{DisablePresolve: true}},
+		{"no-pseudocost", Options{DisablePseudocost: true}},
+		{"dantzig", Options{LP: simplex.Options{Pricing: simplex.PricingDantzig}}},
+		{"all-on", Options{}},
+	}
+	for _, c := range configs {
+		name, opt := c.name, c.opt
+		res, err := Solve(p, ints, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Status != StatusOptimal || math.Abs(res.Obj-want.Obj) > 1e-6*(1+math.Abs(want.Obj)) {
+			t.Errorf("%s: status=%v obj=%v, want optimal obj=%v", name, res.Status, res.Obj, want.Obj)
+		}
+	}
+}

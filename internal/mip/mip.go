@@ -13,8 +13,13 @@
 // where good incumbents can be constructed by domain-specific rounding.
 // It therefore supports
 //
+//   - presolve reductions (bound tightening, implication fixing between the
+//     paper's binaries, dominated-row removal; see presolve.go) applied
+//     before the root relaxation, with results reported in the caller's
+//     original coordinates,
 //   - best-first node selection with depth-first plunging,
-//   - most-fractional branching,
+//   - reliability-weighted pseudocost branching with a most-fractional
+//     fallback until degradation observations exist,
 //   - an optional caller-supplied rounding heuristic that proposes integer
 //     assignments which the solver completes into feasible incumbents, and
 //   - wall-clock and node budgets with proven-bound and gap reporting, so
@@ -92,7 +97,10 @@ type Result struct {
 	// Bound is the proven lower bound on the optimal objective. When the
 	// search completed, Bound equals Obj up to the gap tolerance.
 	Bound float64
-	// Gap is (Obj − Bound) / max(1, |Obj|); zero when proven optimal.
+	// Gap is (Obj − Bound) / max(1, |Obj|); zero when proven optimal. When
+	// no incumbent exists (StatusNoSolution, StatusInfeasible) Gap is
+	// +Inf, so "gap small enough" checks cannot mistake an empty-handed
+	// stop for a proven-optimal one.
 	Gap float64
 	// Nodes is the number of branch-and-bound nodes solved.
 	Nodes int
@@ -139,11 +147,24 @@ type Options struct {
 	// stand-in for a time limit: easy instances converge and return in
 	// seconds, hard ones keep the full budget.
 	MaxStallNodes int
-	// Priority, if non-nil, biases branching: among fractional integer
-	// variables the one with the highest priority is branched first, with
-	// fractionality as the tie-break. Indexed by variable; variables
-	// without an entry default to 0.
+	// Priority, if non-nil, biases branching: until pseudocosts are
+	// initialized (and for the whole search with DisablePseudocost), among
+	// fractional integer variables the one with the highest priority is
+	// branched first, with fractionality as the tie-break. Once the search
+	// has observed objective degradations, the reliability-weighted
+	// pseudocost product becomes the primary key and priority demotes to
+	// the tie-break — measured degradation beats the static hint (see
+	// pseudocostVar). Indexed by variable; variables without an entry
+	// default to 0.
 	Priority []float64
+	// DisablePresolve skips the presolve reductions (see presolve.go); the
+	// search then runs directly on the caller's problem, reproducing the
+	// pre-presolve behavior bit-identically.
+	DisablePresolve bool
+	// DisablePseudocost disables pseudocost branching; every branching
+	// decision then uses the most-fractional rule (with Priority as the
+	// primary key), reproducing the pre-pseudocost behavior bit-identically.
+	DisablePseudocost bool
 	// Starts proposes initial values for the integer variables (same
 	// semantics as Rounding proposals): the solver fixes them, solves the
 	// continuous rest, and adopts the best feasible one as the first
@@ -242,6 +263,14 @@ type fixing struct {
 type node struct {
 	path  []fixing // bound changes relative to the root
 	bound float64  // LP bound inherited from the parent
+	// Pseudocost bookkeeping: the branching that created this node. bvar is
+	// -1 for the root; frac is the fractional part of bvar at the parent,
+	// and parentObj the parent's LP objective, so the child's LP solve can
+	// credit its objective degradation to bvar's up/down pseudocost.
+	bvar      int
+	up        bool
+	frac      float64
+	parentObj float64
 }
 
 type nodeHeap []*node
@@ -266,12 +295,29 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("mip: integer variable %d must have finite bounds", j)
 		}
 	}
+	work, workInts := p, append([]int(nil), intVars...)
+	var ps *presolveInfo
+	if !opt.DisablePresolve {
+		ps = runPresolve(p, intVars, opt.IntTol, opt.Logf)
+		if ps.infeasible {
+			return &Result{Status: StatusInfeasible, Bound: math.Inf(1), Gap: math.Inf(1), Exact: true}, nil
+		}
+		work, workInts = ps.reduced, ps.intVars
+		if work.NumVars == 0 {
+			// Presolve solved the whole problem: every variable is fixed and
+			// every row verified against the fixings.
+			x := ps.restore(nil)
+			return &Result{Status: StatusOptimal, X: x, Obj: ps.objOff, Bound: ps.objOff, Exact: true}, nil
+		}
+	}
 	s := &search{
-		opt: opt, p: p,
-		intVars:      append([]int(nil), intVars...),
+		opt: opt, p: work, ps: ps,
+		intVars:      workInts,
 		exact:        true,
 		skippedBound: math.Inf(1),
 	}
+	s.initPriority()
+	s.initPseudocost()
 	if opt.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opt.TimeLimit)
 	}
@@ -285,7 +331,7 @@ func Solve(p *simplex.Problem, intVars []int, opt Options) (*Result, error) {
 	// caller cancellation interrupts even a single long LP solve.
 	s.opt.LP.Canceled = s.lpStopHook(s.opt.LP.Canceled)
 	var err error
-	s.lp, err = simplex.NewSolver(p, s.opt.LP)
+	s.lp, err = simplex.NewSolver(work, s.opt.LP)
 	if err != nil {
 		return nil, err
 	}
@@ -345,27 +391,46 @@ func (s *search) maybeCheckpoint(now time.Time) {
 func (s *search) snapshot() Snapshot {
 	snap := Snapshot{
 		HasIncumbent: s.hasInc,
-		RootBound:    s.rootBound,
+		RootBound:    s.rootBound + s.off(),
 		Nodes:        s.nodes,
 		LPIters:      s.lpIters,
 	}
 	if s.hasInc {
-		snap.X = append([]float64(nil), s.incumbent...)
-		snap.Obj = s.incObj
+		// Everything the snapshot exposes is in the caller's coordinates:
+		// X at the caller's NumVars, path fixings on the caller's variable
+		// indices, objectives with the presolve offset folded back in.
+		snap.X = append([]float64(nil), s.restoreX(s.incumbent)...)
+		snap.Obj = s.incObj + s.off()
 		snap.BestPath = make([]Fixing, len(s.incPath))
 		for i, f := range s.incPath {
-			snap.BestPath[i] = Fixing{Var: f.j, LB: f.lb, UB: f.ub}
+			snap.BestPath[i] = Fixing{Var: s.origVar(f.j), LB: f.lb, UB: f.ub}
 		}
 	}
 	return snap
 }
 
 type search struct {
-	opt     Options
-	p       *simplex.Problem
-	intVars []int
-	lp      *simplex.Solver // tree solver, bounds mutated per node
-	heur    *simplex.Solver // lazily created solver for rounding probes
+	opt Options
+	// p is the problem the search actually explores: the presolve-reduced
+	// problem when ps is non-nil, the caller's problem otherwise. Every
+	// internal slice (incumbent, proposals, priorities) lives in p's
+	// coordinates; translation to/from the caller's coordinates happens at
+	// the boundaries (restoreX, reduceVec, origVar, off).
+	p        *simplex.Problem
+	ps       *presolveInfo // nil when presolve is disabled or trivial
+	intVars  []int
+	lp       *simplex.Solver // tree solver, bounds mutated per node
+	heur     *simplex.Solver // lazily created solver for rounding probes
+	heurDead bool            // heuristic solver construction failed; stop retrying
+	prio     []float64       // branching priorities in p's coordinates
+
+	// Pseudocost state, indexed in p's coordinates: cumulative per-unit
+	// objective degradations and observation counts per branching direction,
+	// plus the global aggregate used as the reliability prior.
+	pcDownSum, pcUpSum []float64
+	pcDownCnt, pcUpCnt []int
+	pcSum              float64
+	pcCnt              int
 
 	incumbent   []float64
 	incObj      float64
@@ -413,10 +478,110 @@ func (s *search) applyPath(path []fixing) {
 	}
 }
 
-// fractionalVar returns the fractional integer variable with the highest
-// branching priority (fractionality breaking ties), or -1 if the relaxation
-// is integral within tolerance.
+// off returns the objective offset of the eliminated variables: internal
+// objectives and bounds live in reduced coordinates, reported ones add off.
+func (s *search) off() float64 {
+	if s.ps != nil {
+		return s.ps.objOff
+	}
+	return 0
+}
+
+// restoreX translates a solution vector from p's coordinates to the
+// caller's. Without presolve the vector is returned unchanged (not copied),
+// preserving the historical aliasing behavior of Result.X.
+func (s *search) restoreX(x []float64) []float64 {
+	if s.ps == nil {
+		return x
+	}
+	return s.ps.restore(x)
+}
+
+// reduceVec translates a caller proposal into p's coordinates; nil when the
+// proposal contradicts a presolve fixing (it cannot be feasibly completed).
+func (s *search) reduceVec(proposal []float64) []float64 {
+	if proposal == nil || s.ps == nil {
+		return proposal
+	}
+	return s.ps.reduceProposal(proposal)
+}
+
+// origVar maps a variable index in p's coordinates to the caller's.
+func (s *search) origVar(j int) int {
+	if s.ps == nil {
+		return j
+	}
+	return s.ps.origCol[j]
+}
+
+// initPriority maps the caller's branching priorities into p's coordinates.
+func (s *search) initPriority() {
+	if s.opt.Priority == nil {
+		return
+	}
+	if s.ps == nil {
+		s.prio = s.opt.Priority
+		return
+	}
+	s.prio = make([]float64, s.p.NumVars)
+	for r, j := range s.ps.origCol {
+		if j < len(s.opt.Priority) {
+			s.prio[r] = s.opt.Priority[j]
+		}
+	}
+}
+
+func (s *search) prioOf(j int) float64 {
+	if j < len(s.prio) {
+		return s.prio[j]
+	}
+	return 0
+}
+
+// initPseudocost sizes the pseudocost accumulators.
+func (s *search) initPseudocost() {
+	if s.opt.DisablePseudocost {
+		return
+	}
+	n := s.p.NumVars
+	s.pcDownSum = make([]float64, n)
+	s.pcUpSum = make([]float64, n)
+	s.pcDownCnt = make([]int, n)
+	s.pcUpCnt = make([]int, n)
+}
+
+// creditPseudocost records one observed per-unit objective degradation for
+// branching variable j in the given direction.
+func (s *search) creditPseudocost(j int, up bool, perUnit float64) {
+	if s.pcDownSum == nil {
+		return
+	}
+	if up {
+		s.pcUpSum[j] += perUnit
+		s.pcUpCnt[j]++
+	} else {
+		s.pcDownSum[j] += perUnit
+		s.pcDownCnt[j]++
+	}
+	s.pcSum += perUnit
+	s.pcCnt++
+}
+
+// fractionalVar selects the branching variable among the fractional integer
+// variables of x, or returns -1 if the relaxation is integral within
+// tolerance. Before any objective degradation has been observed — and for
+// the whole search with DisablePseudocost — the choice is by priority with
+// fractionality as the tie-break, exactly the historical most-fractional
+// rule. Once pseudocosts carry data the reliability-weighted product score
+// takes over as the primary key (priority demotes to the tie-break): on the
+// allocation subproblems the caller's expected-load priorities nearly
+// totally order the candidates, and keeping them primary would mute the
+// pseudocosts to tie-breaking among a query's subnode copies — measured
+// bound movement has to outrank the static hint for the tree to collapse.
 func (s *search) fractionalVar(x []float64) int {
+	if s.pcCnt > 0 {
+		return s.pseudocostVar(x)
+	}
 	best := -1
 	var bestPrio, bestDist float64
 	for _, j := range s.intVars {
@@ -425,10 +590,7 @@ func (s *search) fractionalVar(x []float64) int {
 		if dist <= s.opt.IntTol {
 			continue
 		}
-		var prio float64
-		if j < len(s.opt.Priority) {
-			prio = s.opt.Priority[j]
-		}
+		prio := s.prioOf(j)
 		//fragvet:ignore floatcmp — exact tie-break between verbatim copies of the same stored priority values; no arithmetic precedes the compare
 		if best == -1 || prio > bestPrio || (prio == bestPrio && dist > bestDist) {
 			best, bestPrio, bestDist = j, prio, dist
@@ -437,25 +599,66 @@ func (s *search) fractionalVar(x []float64) int {
 	return best
 }
 
+// pcReliability is the shrinkage weight of the reliability prior: a
+// variable's pseudocost average is blended with the global average until it
+// has accumulated about this many observations of its own.
+const pcReliability = 4.0
+
+// pseudocostVar scores each fractional candidate by the product of its
+// shrunk up/down pseudocosts weighted by the distance each child must move,
+// the classic product rule: it prefers variables whose *both* children
+// degrade the objective, which is what prunes subtrees early.
+func (s *search) pseudocostVar(x []float64) int {
+	prior := s.pcSum / float64(s.pcCnt)
+	best := -1
+	var bestPrio, bestScore float64
+	for _, j := range s.intVars {
+		frac := x[j] - math.Floor(x[j])
+		dist := math.Min(frac, 1-frac)
+		if dist <= s.opt.IntTol {
+			continue
+		}
+		prio := s.prioOf(j)
+		down := (s.pcDownSum[j] + pcReliability*prior) / (float64(s.pcDownCnt[j]) + pcReliability)
+		up := (s.pcUpSum[j] + pcReliability*prior) / (float64(s.pcUpCnt[j]) + pcReliability)
+		score := math.Max(1e-12, down*frac) * math.Max(1e-12, up*(1-frac))
+		//fragvet:ignore floatcmp — exact tie-break between verbatim copies of the same stored priority values; no arithmetic precedes the compare
+		if best == -1 || score > bestScore || (score == bestScore && prio > bestPrio) {
+			best, bestPrio, bestScore = j, prio, score
+		}
+	}
+	return best
+}
+
 // tryRounding asks the caller heuristic for an integral proposal and
-// evaluates it via tryProposal.
+// evaluates it via tryProposal. The heuristic sees (and answers in) the
+// caller's original coordinates; x is in p's coordinates.
 func (s *search) tryRounding(x []float64) {
 	if s.opt.Rounding == nil {
 		return
 	}
-	s.tryProposal(s.opt.Rounding(x))
+	s.tryProposal(s.reduceVec(s.opt.Rounding(s.restoreX(x))))
 }
 
-// tryProposal completes an integral proposal by solving the continuous
-// remainder, and updates the incumbent when feasible and improving.
+// tryProposal completes an integral proposal (in p's coordinates) by
+// solving the continuous remainder, and updates the incumbent when feasible
+// and improving.
 func (s *search) tryProposal(proposal []float64) {
 	if proposal == nil {
 		return
 	}
 	if s.heur == nil {
+		if s.heurDead {
+			return
+		}
 		var err error
 		s.heur, err = simplex.NewSolver(s.p, s.opt.LP)
 		if err != nil {
+			// Construction depends only on the problem, so retrying on the
+			// next proposal would fail (and swallow the error) identically.
+			// Disable the heuristic and say so once instead of dying silently.
+			s.heurDead = true
+			s.logf("mip: rounding heuristic disabled, solver construction failed: %v", err)
 			return
 		}
 	}
@@ -480,7 +683,7 @@ func (s *search) tryProposal(proposal []float64) {
 		s.hasInc = true
 		s.incPath = nil // heuristic incumbents carry no branching path
 		s.lastImprove = s.nodes
-		s.logf("mip: rounding incumbent obj=%.6f", res.Obj)
+		s.logf("mip: rounding incumbent obj=%.6f", res.Obj+s.off())
 	}
 }
 
@@ -493,7 +696,7 @@ func (s *search) accept(x []float64, obj float64, path []fixing) {
 		s.hasInc = true
 		s.incPath = clonePath(path)
 		s.lastImprove = s.nodes
-		s.logf("mip: incumbent obj=%.6f after %d nodes", obj, s.nodes)
+		s.logf("mip: incumbent obj=%.6f after %d nodes", obj+s.off(), s.nodes)
 	}
 }
 
@@ -502,19 +705,29 @@ func (s *search) gapClosed(bound float64) bool {
 		return false
 	}
 	gap := s.incObj - bound
-	return gap <= s.opt.AbsGap || gap <= s.opt.RelGap*math.Max(1, math.Abs(s.incObj))
+	// The relative denominator uses the objective on the caller's scale:
+	// presolve may have moved most of the objective into the constant
+	// offset, and a gap relative to the reduced remainder would be a far
+	// stricter (and surprising) criterion.
+	return gap <= s.opt.AbsGap || gap <= s.opt.RelGap*math.Max(1, math.Abs(s.incObj+s.off()))
 }
 
 func (s *search) result(status Status, bound float64) *Result {
-	r := &Result{Status: status, Nodes: s.nodes, LPIters: s.lpIters, Bound: bound, Exact: s.exact}
+	off := s.off()
+	r := &Result{Status: status, Nodes: s.nodes, LPIters: s.lpIters, Bound: bound + off, Exact: s.exact}
 	if s.hasInc {
-		r.X = s.incumbent
-		r.Obj = s.incObj
-		r.Gap = math.Max(0, (s.incObj-bound)/math.Max(1, math.Abs(s.incObj)))
+		r.X = s.restoreX(s.incumbent)
+		r.Obj = s.incObj + off
+		r.Gap = math.Max(0, (s.incObj-bound)/math.Max(1, math.Abs(s.incObj+off)))
 		if status == StatusOptimal {
-			r.Bound = s.incObj
+			r.Bound = r.Obj
 			r.Gap = 0
 		}
+	} else {
+		// No incumbent: there is no finite gap to report. +Inf (rather than
+		// the zero value) keeps StatusNoSolution/StatusInfeasible results
+		// from masquerading as gap-zero proven-optimal ones.
+		r.Gap = math.Inf(1)
 	}
 	return r
 }
@@ -539,15 +752,15 @@ func (s *search) run() (*Result, error) {
 	}
 	rootBound := res.Obj
 	s.rootBound = rootBound
-	s.logf("mip: root relaxation obj=%.6f after %d iters", res.Obj, res.Iters)
+	s.logf("mip: root relaxation obj=%.6f after %d iters", res.Obj+s.off(), res.Iters)
 	for _, start := range s.opt.Starts {
-		s.tryProposal(start)
+		s.tryProposal(s.reduceVec(start))
 	}
 	s.tryRounding(res.X)
 
 	open := &nodeHeap{}
 	heap.Init(open)
-	heap.Push(open, &node{bound: rootBound})
+	heap.Push(open, &node{bound: rootBound, bvar: -1})
 
 	for !open.empty() {
 		if s.opt.Checkpoint != nil {
@@ -614,7 +827,7 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 		if res.Status == simplex.StatusCanceled {
 			// The node is unexplored, not failed: push it back so its bound
 			// stays visible to run(), which will wind the search down.
-			heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound})
+			heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound, bvar: -1})
 			return
 		}
 		if res.Status == simplex.StatusInfeasible {
@@ -630,12 +843,25 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 			return
 		}
 		bound := res.Obj
-		s.logf("mip: node %d depth %d obj=%.6f iters=%d", s.nodes, len(nd.path), res.Obj, res.Iters)
+		if nd.bvar >= 0 {
+			// Credit the objective degradation of this child LP to the
+			// branching that created it, normalized by how far the branching
+			// moved the variable (frac down, 1−frac up).
+			dist := nd.frac
+			if nd.up {
+				dist = 1 - nd.frac
+			}
+			if dist > s.opt.IntTol {
+				s.creditPseudocost(nd.bvar, nd.up, math.Max(0, bound-nd.parentObj)/dist)
+			}
+			nd.bvar = -1 // credit once, not on every dive iteration
+		}
+		s.logf("mip: node %d depth %d obj=%.6f iters=%d", s.nodes, len(nd.path), res.Obj+s.off(), res.Iters)
 		if debugVerifyNodes {
 			cold := s.lp.Solve()
 			s.lpIters += cold.Iters
 			if cold.Status == simplex.StatusCanceled {
-				heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound})
+				heap.Push(open, &node{path: clonePath(nd.path), bound: nd.bound, bvar: -1})
 				return
 			}
 			if cold.Status != res.Status || (res.Status == simplex.StatusOptimal && math.Abs(cold.Obj-res.Obj) > 1e-4*(1+math.Abs(cold.Obj))) {
@@ -656,26 +882,29 @@ func (s *search) plunge(nd *node, open *nodeHeap) {
 		}
 		if s.stopped() || s.nodes >= s.opt.MaxNodes {
 			// Push the node back so its bound stays visible to run().
-			heap.Push(open, &node{path: clonePath(nd.path), bound: bound})
+			heap.Push(open, &node{path: clonePath(nd.path), bound: bound, bvar: -1})
 			return
 		}
 		v := res.X[branch]
 		floor, ceil := math.Floor(v), math.Ceil(v)
-		downFirst := v-floor <= ceil-v
+		frac := v - floor
+		downFirst := frac <= ceil-v
 		lb, ub := s.lp.Bounds(branch)
 
 		downPath := append(clonePath(nd.path), fixing{branch, lb, floor})
 		upPath := append(clonePath(nd.path), fixing{branch, ceil, ub})
-		var divePath, siblingPath []fixing
+		down := &node{path: downPath, bound: bound, bvar: branch, up: false, frac: frac, parentObj: bound}
+		up := &node{path: upPath, bound: bound, bvar: branch, up: true, frac: frac, parentObj: bound}
+		var dive, sibling *node
 		if downFirst {
-			divePath, siblingPath = downPath, upPath
+			dive, sibling = down, up
 		} else {
-			divePath, siblingPath = upPath, downPath
+			dive, sibling = up, down
 		}
-		heap.Push(open, &node{path: siblingPath, bound: bound})
-		nd = &node{path: divePath, bound: bound}
+		heap.Push(open, sibling)
+		nd = dive
 		// Apply only the new fixing; the rest of the path is already set.
-		f := divePath[len(divePath)-1]
+		f := nd.path[len(nd.path)-1]
 		s.lp.SetBound(f.j, f.lb, f.ub)
 	}
 }

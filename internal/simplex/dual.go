@@ -159,6 +159,7 @@ func (s *Solver) repairDualFeasibility() bool {
 // dual-feasible basis and pivots until primal feasibility (optimal), proven
 // primal infeasibility (dual unboundedness), or the iteration limit.
 func (s *Solver) runDual() Status {
+	s.resetDevexWeights()
 	for {
 		if s.interrupted() {
 			return StatusCanceled
@@ -177,17 +178,35 @@ func (s *Solver) runDual() Status {
 		}
 
 		// Leaving variable: the basic variable with the largest bound
-		// violation.
+		// violation (Dantzig), or the largest reference-weighted squared
+		// violation (Devex), which approximates steepest-edge row selection.
 		leave := -1
 		var worst float64
 		above := false
-		for r := 0; r < s.m; r++ {
-			bj := s.basic[r]
-			if v := s.lb[bj] - s.xB[r]; v > worst {
-				worst, leave, above = v, r, false
+		if s.devex() {
+			var bestScore float64
+			for r := 0; r < s.m; r++ {
+				bj := s.basic[r]
+				v, ab := s.lb[bj]-s.xB[r], false
+				if t := s.xB[r] - s.ub[bj]; t > v {
+					v, ab = t, true
+				}
+				if v <= s.opt.FeasTol {
+					continue
+				}
+				if score := v * v / s.ddw[r]; score > bestScore {
+					bestScore, worst, leave, above = score, v, r, ab
+				}
 			}
-			if v := s.xB[r] - s.ub[bj]; v > worst {
-				worst, leave, above = v, r, true
+		} else {
+			for r := 0; r < s.m; r++ {
+				bj := s.basic[r]
+				if v := s.lb[bj] - s.xB[r]; v > worst {
+					worst, leave, above = v, r, false
+				}
+				if v := s.xB[r] - s.ub[bj]; v > worst {
+					worst, leave, above = v, r, true
+				}
 			}
 		}
 		if leave == -1 || worst <= s.opt.FeasTol {
@@ -269,6 +288,19 @@ func (s *Solver) runDual() Status {
 			target = s.lb[bj]
 		}
 		w := s.ftran(enter)
+		if math.Abs(w[leave]) <= s.opt.PivotTol {
+			// Entering eligibility was judged on the rho-based alpha, but the
+			// pivot divides by the FTRAN column's w[leave]. The two are the
+			// same quantity computed through different triangular solves, and
+			// after enough eta updates they can disagree; dividing by a
+			// near-zero w[leave] would blast xB with a huge delta. Abort the
+			// pass instead — the caller's recovery ladder refactorizes and
+			// restarts from a clean basis.
+			return StatusUnknown
+		}
+		if s.devex() {
+			s.updateDualDevex(leave, w)
+		}
 		delta := (s.xB[leave] - target) / w[leave]
 		enterVal := s.nonbasicValue(enter) + delta
 		for r := 0; r < s.m; r++ {

@@ -9,12 +9,14 @@ import "math"
 // Each iteration:
 //
 //  1. price all nonbasic columns with the simplex multipliers y = c_Bᵀ B⁻¹
-//     and select an entering column (Dantzig rule; Bland's rule after
-//     prolonged degenerate stalling, which guarantees termination),
+//     and select an entering column (Devex or Dantzig per Options.Pricing;
+//     Bland's rule after prolonged degenerate stalling, which guarantees
+//     termination),
 //  2. run the bounded-variable ratio test, which may result in a simple
 //     bound flip of the entering variable instead of a basis change,
 //  3. pivot and update the product-form basis inverse.
 func (s *Solver) runPrimal(phase1 bool) Status {
+	s.resetDevexWeights()
 	for {
 		if s.interrupted() {
 			return StatusCanceled
@@ -59,7 +61,13 @@ func (s *Solver) runPrimal(phase1 bool) Status {
 				enter, enterD = j, d
 				break // smallest index wins
 			}
-			if score := math.Abs(d); score > bestScore {
+			var score float64
+			if s.devex() {
+				score = d * d / s.pdw[j]
+			} else {
+				score = math.Abs(d)
+			}
+			if score > bestScore {
 				enter, enterD, bestScore = j, d, score
 			}
 		}
@@ -171,6 +179,9 @@ func (s *Solver) runPrimal(phase1 bool) Status {
 		}
 
 		// Basis change.
+		if s.devex() {
+			s.updatePrimalDevex(enter, leave, w)
+		}
 		enterVal := s.nonbasicValue(enter) + sigma*tBest
 		for r := 0; r < s.m; r++ {
 			if w[r] != 0 {

@@ -15,8 +15,9 @@
 //     eta file and rebuilt by periodic refactorization (see lu.go),
 //   - a two-phase primal method (phase 1 minimizes the sum of artificial
 //     variables),
-//   - Dantzig pricing with an automatic switch to Bland's rule after
-//     prolonged degenerate stalling, and
+//   - Devex pricing by default (Options.Pricing, see devex.go) with the
+//     classic Dantzig rule available as a baseline, and an automatic switch
+//     to Bland's rule after prolonged degenerate stalling, and
 //   - a bounded-variable dual simplex used to warm-start re-solves after
 //     bound changes (branching in the MIP solver).
 //
@@ -247,6 +248,10 @@ type Options struct {
 	// penalized huge-but-sparse models that the LU kernel handles easily,
 	// so the budget is now on what actually costs memory.
 	MaxFactorNonzeros int
+	// Pricing selects the pivot-pricing rule for both simplex loops. The
+	// zero value is PricingDevex (the default); PricingDantzig restores the
+	// pre-Devex rule bit-identically for regression baselines.
+	Pricing Pricing
 	// DenseBaseline selects the retired dense basis-inverse kernel instead
 	// of the sparse LU kernel. It exists so benchmarks and the kernel-swap
 	// regression tests can measure the LU kernel against the exact pre-LU

@@ -48,6 +48,9 @@ type Solver struct {
 	stall      int  // consecutive degenerate pivots
 	forceBland bool // recovery ladder: start every pass in Bland's rule
 
+	pdw []float64 // primal Devex reference weights, per column (see devex.go)
+	ddw []float64 // dual Devex reference weights, per basis row
+
 	// scratch buffers
 	y, w, rho, tmpRHS []float64
 }
@@ -326,6 +329,9 @@ func (s *Solver) refactor() error {
 		return err
 	}
 	s.updates = 0
+	// A fresh factorization discards the eta file the Devex weights were
+	// accumulated against; restart the reference framework with it.
+	s.resetDevexWeights()
 	return nil
 }
 
