@@ -2,26 +2,43 @@
 # referenced by ROADMAP.md: formatting, vet, fragvet (the repo's own
 # static analyzers, DESIGN.md §3.6), build, and the full test suite under
 # the race detector (the parallel decomposition driver makes
-# race-cleanliness part of the contract).
+# race-cleanliness part of the contract). Each stage reports its wall time
+# so suite-latency regressions (fragvet has a 2x budget over its
+# six-analyzer baseline) show up in every run, not just when profiled.
 
 GO ?= go
 
 .PHONY: check fmt-check vet fragvet build test race fault crash bench benchcompile bench-mip bench-paper
 
 check: fmt-check vet fragvet build benchcompile fault crash race
+	@echo "make check: all stages passed"
 
 fmt-check:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@t0=$$(date +%s); out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi; \
+	echo "fmt-check: $$(( $$(date +%s) - t0 ))s"
 
 vet:
-	$(GO) vet ./...
+	@t0=$$(date +%s); $(GO) vet ./... || exit $$?; \
+	echo "vet: $$(( $$(date +%s) - t0 ))s"
 
+# fragvet's exit codes are part of its contract: 0 clean, 1 findings,
+# 2 load/internal error. Distinguish them so CI logs tell a dirty tree
+# ("fix or annotate the findings") from a broken tool. Built and run
+# directly — `go run` collapses every nonzero exit to 1.
 fragvet:
-	$(GO) run ./cmd/fragvet ./...
+	@t0=$$(date +%s); bin=$$(mktemp); \
+	$(GO) build -o $$bin ./cmd/fragvet || { rm -f $$bin; exit 2; }; \
+	$$bin ./...; code=$$?; rm -f $$bin; \
+	case $$code in \
+	0) echo "fragvet: clean: $$(( $$(date +%s) - t0 ))s";; \
+	1) echo "fragvet: findings above: fix them or annotate with //fragvet:ignore <analyzer> — <reason>"; exit 1;; \
+	*) echo "fragvet: tool/load error (exit $$code) — not a findings failure"; exit $$code;; \
+	esac
 
 build:
-	$(GO) build ./...
+	@t0=$$(date +%s); $(GO) build ./... || exit $$?; \
+	echo "build: $$(( $$(date +%s) - t0 ))s"
 
 test:
 	$(GO) test ./...
@@ -30,28 +47,32 @@ test:
 # package alone needs ~10 minutes, so the default 10-minute per-package
 # timeout is too tight when packages share the machine.
 race:
-	$(GO) test -race -timeout 1800s ./...
+	@t0=$$(date +%s); $(GO) test -race -timeout 1800s ./... || exit $$?; \
+	echo "race: $$(( $$(date +%s) - t0 ))s"
 
 # The deterministic fault-injection suite (DESIGN.md §3.7): simplex
 # recovery rungs, MIP cancellation, and the driver's greedy degradation,
 # under the race detector because the injector is shared across workers.
 fault:
-	$(GO) test -race -run 'Recovery|Cancel|Degraded|Retry|Fault|Seeded' \
-		./internal/simplex ./internal/mip ./internal/core ./internal/faultinject
+	@t0=$$(date +%s); $(GO) test -race -run 'Recovery|Cancel|Degraded|Retry|Fault|Seeded' \
+		./internal/simplex ./internal/mip ./internal/core ./internal/faultinject || exit $$?; \
+	echo "fault: $$(( $$(date +%s) - t0 ))s"
 
 # Crash-safety suite (DESIGN.md §3.9): checkpoint format round-trip and
 # corruption sweeps, kill-point crash/resume bit-identity (in-process panic
 # and subprocess os.Exit(137)), torn-write fallback, and the mid-MIP
 # checkpoint observation/warm-resume tests.
 crash:
-	$(GO) test -run 'Checkpoint|Crash|Resume|Torn|Truncation|BitFlip|Generations|Recorder|Digest' \
-		./internal/checkpoint ./internal/core ./internal/mip ./internal/model
+	@t0=$$(date +%s); $(GO) test -run 'Checkpoint|Crash|Resume|Torn|Truncation|BitFlip|Generations|Recorder|Digest' \
+		./internal/checkpoint ./internal/core ./internal/mip ./internal/model || exit $$?; \
+	echo "crash: $$(( $$(date +%s) - t0 ))s"
 
 # Bench-rot guard: run every benchmark in the repo exactly once so a
 # benchmark that no longer compiles or crashes fails `make check`. -short
 # skips the dense-baseline kernel variants that take minutes by design.
 benchcompile:
-	$(GO) test -run NONE -bench . -benchtime 1x -short ./...
+	@t0=$$(date +%s); $(GO) test -run NONE -bench . -benchtime 1x -short ./... || exit $$?; \
+	echo "benchcompile: $$(( $$(date +%s) - t0 ))s"
 
 # Simplex kernel benchmarks (lu vs the retired dense baseline), recorded as
 # BENCH_simplex.json with derived speedup/memory ratios (cmd/benchjson).

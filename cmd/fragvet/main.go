@@ -1,22 +1,30 @@
 // Command fragvet runs the repo's custom static-analysis suite (package
-// internal/analysis) over the module: determinism (rangemaporder), float
-// tolerance discipline (floatcmp), parameter aliasing (aliasretain), and
-// lock/blocking discipline (lockheld). It exits non-zero when any
-// diagnostic survives, which is how `make check` gates the tree
-// (DESIGN.md §3.6).
+// internal/analysis) over the module — including the interprocedural
+// analyzers built on the module call graph and effect summaries
+// (detsource, errdrop, the interprocedural lockheld) — and over _test.go
+// files, in-package and external. See DESIGN.md §3.6 for the full
+// analyzer table.
 //
 // Usage:
 //
-//	fragvet [./...]
+//	fragvet [-list] [-json] [./...]
 //	fragvet fragalloc/internal/core fragalloc/internal/mip
 //
 // With no arguments (or the ./... pattern) every package of the module is
 // analyzed. Suppress an individual finding with an annotated reason:
 //
 //	//fragvet:ignore <analyzer> — <reason>
+//
+// Exit codes distinguish a dirty tree from a broken tool, so the Makefile
+// can tell a regression from an infrastructure failure:
+//
+//	0  clean (no unsuppressed findings)
+//	1  findings reported
+//	2  load or internal error (parse/type-check failure, bad arguments)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +34,21 @@ import (
 	"fragalloc/internal/analysis"
 )
 
+// jsonDiag is the one-object-per-line -json encoding of a diagnostic.
+type jsonDiag struct {
+	Analyzer     string `json:"analyzer"`
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Column       int    `json:"column"`
+	Message      string `json:"message"`
+	SuppressedBy string `json:"suppressed_by,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line (including suppressed findings)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: fragvet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fragvet [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,25 +73,57 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs := make([]*analysis.Package, 0, len(paths))
+	// Two phases: load every non-test package first, then augment with test
+	// files — by then every import a test file can reach resolves against a
+	// complete memoized package, so no load-order cycles are possible.
+	base := make([]*analysis.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
-		pkgs = append(pkgs, pkg)
+		base = append(base, pkg)
+	}
+	var pkgs []*analysis.Package
+	for _, pkg := range base {
+		withTests, err := loader.LoadTests(pkg)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, withTests...)
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
+	enc := json.NewEncoder(os.Stdout)
+	findings := 0
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
+		if d.SuppressedBy == "" {
+			findings++
+		}
+		if *jsonOut {
+			sup := d.SuppressedBy
+			if rel, err := filepath.Rel(root, sup); err == nil && !strings.HasPrefix(rel, "..") {
+				sup = rel
+			}
+			if err := enc.Encode(jsonDiag{
+				Analyzer: d.Analyzer, File: pos.Filename, Line: pos.Line,
+				Column: pos.Column, Message: d.Message, SuppressedBy: sup,
+			}); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		if d.SuppressedBy != "" {
+			continue // human mode shows actionable findings only
+		}
 		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "fragvet: %d diagnostic(s)\n", len(diags))
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fragvet: %d diagnostic(s)\n", findings)
 		os.Exit(1)
 	}
 }
@@ -131,7 +182,9 @@ func findModuleRoot() (string, error) {
 	}
 }
 
+// fatal reports a load or internal error: exit code 2, distinct from the
+// findings exit code 1, so CI can tell a broken tool from a dirty tree.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fragvet:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -44,13 +44,16 @@ type Analyzer struct {
 
 // Analyzers is the fragvet suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RangeMapOrder, FloatCmp, AliasRetain, LockHeld, CtxHook, Atomicwrite}
+	return []*Analyzer{RangeMapOrder, FloatCmp, AliasRetain, LockHeld, CtxHook, Atomicwrite, DetSource, ErrDrop}
 }
 
-// A Pass hands one analyzer the parsed and type-checked view of one package.
+// A Pass hands one analyzer the parsed and type-checked view of one package,
+// plus the module-wide call graph and effect summaries (shared across all
+// analyzers of a Run, so nine analyzers pay for one interprocedural build).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 
 	diags []Diagnostic
 }
@@ -64,39 +67,50 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// A Diagnostic is one finding with a resolved source position.
+// A Diagnostic is one finding with a resolved source position. A finding
+// covered by an ignore directive is still returned, with SuppressedBy set
+// to the directive's own position — callers that gate on findings must
+// filter on SuppressedBy == "".
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer     string
+	Pos          token.Position
+	Message      string
+	SuppressedBy string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Run applies the analyzers to each package and returns the surviving
-// diagnostics (suppressions applied, directive errors included), sorted by
-// file, line, column, and analyzer.
+// Run applies the analyzers to each package and returns every diagnostic —
+// suppressed findings carry SuppressedBy, stale directives and directive
+// errors are reported under the "fragvet" analyzer — sorted by file, line,
+// column, and analyzer. The interprocedural module (call graph + effect
+// summaries) is built once and shared by every pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	mod := BuildModule(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		dirs := collectDirectives(pkg, known)
 		diags = append(diags, dirs.errs...)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Mod: mod}
 			a.Run(pass)
 			for _, d := range pass.diags {
-				if dirs.suppressed(a.Name, d.Pos) {
-					continue
+				if by := dirs.suppressor(a.Name, d.Pos); by != nil {
+					d.SuppressedBy = fmt.Sprintf("%s:%d", by.pos.Filename, by.pos.Line)
 				}
 				diags = append(diags, d)
 			}
 		}
+		// A directive that suppressed nothing across the whole suite is rot:
+		// either the finding was fixed (delete the directive) or the
+		// directive is on the wrong line (it hides nothing).
+		diags = append(diags, dirs.stale(known)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

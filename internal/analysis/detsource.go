@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetSource is the determinism-taint analyzer: it reports any data-flow
+// path from a nondeterminism source — wall clock, the process-global
+// math/rand generator, the environment, map iteration order, goroutine
+// completion order — into the values the repo promises are bit-identical
+// across runs: simplex.Result, mip.Result, core.Result, model.Allocation,
+// and the checkpoint payloads (Snapshot, SubRecord, MIPRecord), plus the
+// Recorder.RecordSub/RecordMIP and Problem.AddVar/AddRow sink calls.
+//
+// The taint engine (taint.go) recognizes the repo's sanctioned idioms as
+// sanitizers: collect-then-sort, keyed writes (out[f(k)] = g(k, v) inside a
+// map range), guarded selection, commutative folds (integer sums,
+// math.Min/Max), and explicitly seeded rand.New(rand.NewSource(seed)).
+// Fields of type time.Duration or time.Time are exempt sinks: they are
+// telemetry (core.Result.SolveTime), documented as timing-dependent.
+//
+// The analysis is data-flow only. Control dependence — e.g. a deadline
+// check steering how many iterations run — is deliberately invisible:
+// wall-clock *budgets* are part of the contract (DESIGN.md §3.5 ties
+// determinism to node-based budgets, not wall time).
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "flag data flows from nondeterminism sources (time.Now, global math/rand, " +
+		"map iteration order, goroutine completion order) into solver results, " +
+		"allocations, and checkpoint payloads",
+	Run: runDetSource,
+}
+
+// protectedNames are the result-type names whose values the determinism
+// contract covers. Matching is by bare type name so the invariant follows
+// the repo's naming convention (every *Result in this module is solver
+// output) and golden testdata can declare its own protected types.
+var protectedNames = map[string]bool{
+	"Result":     true,
+	"Allocation": true,
+	"Snapshot":   true,
+	"SubRecord":  true,
+	"MIPRecord":  true,
+}
+
+// sinkCalls are the call-argument sinks: journal record writers and LP
+// row/column constructors (the latter shared with rangemaporder's
+// lpConstructors rationale — column order steers pivot tie-breaks).
+var sinkCalls = map[string]bool{
+	"RecordSub": true, "RecordMIP": true,
+	"AddVar": true, "AddRow": true,
+}
+
+func runDetSource(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	for _, n := range pass.Mod.PkgNodes(pass.Pkg) {
+		if n.body() == nil {
+			continue
+		}
+		newTaintEngine(pass.Mod, n, pass).reportPass()
+	}
+}
+
+// reportPass re-walks the function once with reporting enabled. The
+// variable fixpoint was already computed by BuildModule, so a single
+// source-order walk sees every sink with final taints.
+func (e *taintEngine) reportPass() {
+	e.walkStmts(e.n.body().List, taintCtx{})
+}
+
+// protectedTypeName returns the protected-type name of t (after deref), or
+// "".
+func protectedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	if protectedNames[n.Obj().Name()] {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// timeTelemetry reports whether t is time.Duration or time.Time — exempt
+// sink fields carrying timing telemetry.
+func timeTelemetry(t types.Type) bool {
+	return namedFrom(t, "time", "Duration") || namedFrom(t, "time", "Time")
+}
+
+// reportFieldStore diagnoses a store to a field of a protected type.
+func (e *taintEngine) reportFieldStore(target *ast.SelectorExpr, t tinfo, ctx taintCtx) {
+	name := protectedTypeName(e.pkg.Info.TypeOf(target.X))
+	if name == "" || timeTelemetry(e.pkg.Info.TypeOf(target)) {
+		return
+	}
+	if t.bits&taintKV != 0 {
+		if ctx.loop != nil && !ctx.guarded && !t.commutative {
+			// The field outlives the loop: which iteration's value it keeps
+			// depends on iteration order.
+			t.bits = t.bits&^taintKV | TaintValue
+			t.srcV = taintSrc{pos: target.Pos(), desc: "last-iteration-wins write from " + t.srcK.desc}
+		} else {
+			t.bits &^= taintKV
+		}
+	}
+	e.reportTaint(target.Sel.Pos(), t,
+		"store to "+name+"."+target.Sel.Name)
+}
+
+// sinkCompositeElt diagnoses a tainted element of a protected composite
+// literal. Iteration-local (KV) data is not itself a finding here: a value
+// built per iteration is fine until it is accumulated, which other rules
+// catch.
+func (e *taintEngine) sinkCompositeElt(lit *ast.CompositeLit, val ast.Expr, t tinfo) {
+	name := protectedTypeName(e.pkg.Info.TypeOf(lit))
+	if name == "" || timeTelemetry(e.pkg.Info.TypeOf(val)) {
+		return
+	}
+	t.bits &^= taintKV
+	e.reportTaint(val.Pos(), t, name+" literal")
+}
+
+// sinkCall diagnoses tainted arguments of the journal/LP sink calls.
+func (e *taintEngine) sinkCall(call *ast.CallExpr, argT []tinfo) {
+	var name string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	}
+	if !sinkCalls[name] {
+		return
+	}
+	for i, t := range argT {
+		t.bits &^= taintKV
+		e.reportTaint(call.Args[i].Pos(), t, name+" argument")
+	}
+}
+
+// reportReturn diagnoses returning a tainted value whose type is protected.
+// Taint that arrived purely through a module callee's return is skipped:
+// the frame nearest the source already reported it, and re-reporting every
+// frame up the call chain is noise.
+func (e *taintEngine) reportReturn(res ast.Expr, t tinfo) {
+	name := protectedTypeName(e.pkg.Info.TypeOf(res))
+	if name == "" {
+		return
+	}
+	if strings.Contains(t.srcV.desc, "(returned by ") || strings.Contains(t.srcO.desc, "(returned by ") {
+		return
+	}
+	e.reportTaint(res.Pos(), t, "returned "+name)
+}
+
+// reportTaint emits the diagnostic for whichever taint bits survive.
+func (e *taintEngine) reportTaint(pos token.Pos, t tinfo, sink string) {
+	if e.pass == nil {
+		return
+	}
+	if t.bits&TaintValue != 0 {
+		e.pass.Reportf(pos, "nondeterministic value reaches %s: %s", sink, t.srcV.desc)
+		return
+	}
+	if t.bits&TaintOrder != 0 {
+		e.pass.Reportf(pos, "nondeterministic element order reaches %s: %s", sink, t.srcO.desc)
+	}
+}

@@ -6,8 +6,8 @@ import (
 )
 
 // isMapExpr reports whether e's type is (underlying) a map.
-func isMapExpr(pass *Pass, e ast.Expr) bool {
-	t := pass.Pkg.Info.TypeOf(e)
+func isMapExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
 	if t == nil {
 		return false
 	}
@@ -16,19 +16,19 @@ func isMapExpr(pass *Pass, e ast.Expr) bool {
 }
 
 // isBuiltinAppend reports whether call invokes the append builtin.
-func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	b, ok := pass.Pkg.Info.ObjectOf(id).(*types.Builtin)
+	b, ok := pkg.Info.ObjectOf(id).(*types.Builtin)
 	return ok && b.Name() == "append"
 }
 
 // isSliceIndex reports whether idx indexes a slice or array (not a map or
 // string); writes through such an index are position-dependent.
-func isSliceIndex(pass *Pass, idx *ast.IndexExpr) bool {
-	t := pass.Pkg.Info.TypeOf(idx.X)
+func isSliceIndex(pkg *Package, idx *ast.IndexExpr) bool {
+	t := pkg.Info.TypeOf(idx.X)
 	if t == nil {
 		return false
 	}

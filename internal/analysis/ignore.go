@@ -5,19 +5,24 @@ import (
 	"strings"
 )
 
-// A directive is one parsed //fragvet:ignore annotation.
+// A directive is one parsed //fragvet:ignore annotation. used is set when
+// the directive suppresses at least one finding of a run, so rot — a
+// directive whose finding was fixed, or that sits on the wrong line — can
+// be reported instead of silently accumulating.
 type directive struct {
 	analyzer string
-	file     string
-	line     int
+	pos      token.Position
+	used     bool
 }
 
 // directives indexes the valid ignore annotations of a package and carries
 // the diagnostics produced by malformed ones.
 type directives struct {
-	// byLine maps file -> line -> analyzer names ignored on that line.
-	byLine map[string]map[int][]string
-	errs   []Diagnostic
+	// byLine maps file -> line -> directives on that line.
+	byLine map[string]map[int][]*directive
+	// all holds every valid directive in parse order, for the stale scan.
+	all  []*directive
+	errs []Diagnostic
 }
 
 // collectDirectives scans every comment of the package for fragvet:ignore
@@ -25,7 +30,7 @@ type directives struct {
 // names anything else — or that carries no reason — is itself reported, so
 // suppressions cannot silently rot.
 func collectDirectives(pkg *Package, known map[string]bool) *directives {
-	ds := &directives{byLine: make(map[string]map[int][]string)}
+	ds := &directives{byLine: make(map[string]map[int][]*directive)}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -83,10 +88,12 @@ func (ds *directives) parseComment(pkg *Package, known map[string]bool, text str
 	}
 	lines := ds.byLine[position.Filename]
 	if lines == nil {
-		lines = make(map[int][]string)
+		lines = make(map[int][]*directive)
 		ds.byLine[position.Filename] = lines
 	}
-	lines[position.Line] = append(lines[position.Line], name)
+	d := &directive{analyzer: name, pos: position}
+	lines[position.Line] = append(lines[position.Line], d)
+	ds.all = append(ds.all, d)
 }
 
 // commentBody strips the comment markers and leading space from a raw
@@ -101,21 +108,42 @@ func commentBody(text string) (string, bool) {
 	return "", false
 }
 
-// suppressed reports whether a diagnostic of the named analyzer at pos is
-// covered by a valid directive on the same line or the line directly above.
-func (ds *directives) suppressed(analyzer string, pos token.Position) bool {
+// suppressor returns the directive covering a diagnostic of the named
+// analyzer at pos — same line or the line directly above — marking it used,
+// or nil.
+func (ds *directives) suppressor(analyzer string, pos token.Position) *directive {
 	lines := ds.byLine[pos.Filename]
 	if lines == nil {
-		return false
+		return nil
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
-				return true
+		for _, d := range lines[line] {
+			if d.analyzer == analyzer {
+				d.used = true
+				return d
 			}
 		}
 	}
-	return false
+	return nil
+}
+
+// stale reports every directive that suppressed nothing, restricted to
+// analyzers that actually ran (a directive for an analyzer outside the run
+// set cannot prove itself useful and is left alone).
+func (ds *directives) stale(ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range ds.all {
+		if d.used || !ran[d.analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "fragvet",
+			Pos:      d.pos,
+			Message: "ignore directive for " + quote(d.analyzer) +
+				" suppresses nothing; the finding was fixed or the directive is misplaced — remove it",
+		})
+	}
+	return diags
 }
 
 func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// buildTestModule loads testdata/callgraph and builds its call graph.
+func buildTestModule(t *testing.T) (*Module, *Package) {
+	t.Helper()
+	pkg := loadTestdata(t, "callgraph")
+	return BuildModule([]*Package{pkg}), pkg
+}
+
+// nodeByLabel finds the unique call-graph node whose label ends in suffix.
+func nodeByLabel(t *testing.T, m *Module, suffix string) *CGNode {
+	t.Helper()
+	var found *CGNode
+	for _, n := range m.Nodes {
+		if strings.HasSuffix(n.Label, suffix) {
+			if found != nil {
+				t.Fatalf("label suffix %q is ambiguous: %s and %s", suffix, found.Label, n.Label)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with label suffix %q", suffix)
+	}
+	return found
+}
+
+// TestModuleSummaries pins the effect summaries the analyzers are built on:
+// interface dispatch unions the effects of every module implementation,
+// closures report through their callers, SCC members share their effects,
+// and go statements mask the blocking bits (asyncSuppressed).
+func TestModuleSummaries(t *testing.T) {
+	m, _ := buildTestModule(t)
+	cases := []struct {
+		label   string
+		want    Effect // bits that must be set
+		wantNot Effect // bits that must be clear
+	}{
+		// Direct effects.
+		{"(*blockingPinger).ping", EffBlock, EffClock},
+		{"(clockPinger).ping", EffClock, EffBlock},
+		// Interface dispatch: both implementations' effects union in.
+		{"callPing", EffBlock | EffClock, 0},
+		// A method value referenced (not called) still propagates its
+		// effects conservatively: the closure escapes to unknown callers.
+		{"methodValue", EffBlock, 0},
+		// A closure called in place reports through its caller.
+		{"closureClock", EffClock, 0},
+		// SCC recursion: mutualA never touches the clock itself, but its
+		// cycle partner does, and the fixpoint unions over the SCC.
+		{"mutualA", EffClock, 0},
+		{"mutualB", EffClock, 0},
+		// go func(){<-ch}(): the spawn is recorded, the block is not —
+		// the goroutine waits on its own schedule, not the caller's.
+		{"spawnBlocked", EffGo, EffBlock},
+		// The same receive through a plain call does propagate.
+		{"callBlocked", EffBlock, 0},
+	}
+	for _, c := range cases {
+		n := nodeByLabel(t, m, c.label)
+		if n.Summary&c.want != c.want {
+			t.Errorf("%s: summary %v is missing bits %v", n.Label, n.Summary, c.want)
+		}
+		if n.Summary&c.wantNot != 0 {
+			t.Errorf("%s: summary %v has unwanted bits %v", n.Label, n.Summary, c.wantNot)
+		}
+	}
+}
+
+// TestModuleInterfaceDispatch pins the conservative interface resolution:
+// the dynamic call p.ping() resolves to every module type whose method set
+// implements the interface.
+func TestModuleInterfaceDispatch(t *testing.T) {
+	m, pkg := buildTestModule(t)
+	caller := nodeByLabel(t, m, "callPing")
+	var call *ast.CallExpr
+	ast.Inspect(caller.body(), func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call expression in callPing")
+	}
+	callees := m.CalleesAt(call)
+	var labels []string
+	for _, c := range callees {
+		labels = append(labels, c.Label)
+	}
+	if len(callees) != 2 {
+		t.Fatalf("CalleesAt(p.ping()) = %v, want both implementations", labels)
+	}
+	wantOne := func(suffix string) {
+		for _, l := range labels {
+			if strings.HasSuffix(l, suffix) {
+				return
+			}
+		}
+		t.Errorf("CalleesAt(p.ping()) = %v, missing %q", labels, suffix)
+	}
+	wantOne("(*blockingPinger).ping")
+	wantOne("(clockPinger).ping")
+	_ = pkg
+}
+
+// TestModuleWitnessChain pins the diagnostic witness: an effect reached
+// through a callee names the hop, so lockheld's "via" chains stay readable.
+func TestModuleWitnessChain(t *testing.T) {
+	m, _ := buildTestModule(t)
+	n := nodeByLabel(t, m, "callBlocked")
+	chain, desc, pos := n.witnessChain(EffBlock)
+	if !pos.IsValid() {
+		t.Fatal("callBlocked has no EffBlock witness")
+	}
+	if desc == "" {
+		t.Error("empty witness description")
+	}
+	if !strings.Contains(chain, "ping") {
+		t.Errorf("witness chain %q does not name the blocking callee", chain)
+	}
+}

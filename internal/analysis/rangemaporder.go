@@ -41,7 +41,7 @@ func runRangeMapOrder(pass *Pass) {
 				return true
 			}
 			rs, ok := n.(*ast.RangeStmt)
-			if !ok || !isMapExpr(pass, rs.X) {
+			if !ok || !isMapExpr(pass.Pkg, rs.X) {
 				return true
 			}
 			checkMapRange(pass, stack.enclosingFuncBody(), rs)
@@ -57,7 +57,7 @@ type rangeFinding struct {
 }
 
 func checkMapRange(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt) {
-	findings := collectRangeFindings(pass, rs)
+	findings := collectRangeFindings(pass.Pkg, rs)
 	if len(findings) == 0 {
 		return
 	}
@@ -65,7 +65,7 @@ func checkMapRange(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt) {
 	// slice, and each of those slices is sorted after the loop.
 	exempt := encl != nil
 	for _, f := range findings {
-		if f.obj == nil || !sortedAfter(pass, encl, rs, f.obj) {
+		if f.obj == nil || !sortedAfter(pass.Pkg, encl, rs, f.obj) {
 			exempt = false
 			break
 		}
@@ -81,7 +81,7 @@ func checkMapRange(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt) {
 
 // collectRangeFindings walks the body of rs (excluding nested function
 // literals, which run on their own schedule) for order-dependent operations.
-func collectRangeFindings(pass *Pass, rs *ast.RangeStmt) []rangeFinding {
+func collectRangeFindings(pkg *Package, rs *ast.RangeStmt) []rangeFinding {
 	var findings []rangeFinding
 	add := func(kind string, obj types.Object) {
 		findings = append(findings, rangeFinding{kind: kind, obj: obj})
@@ -93,21 +93,21 @@ func collectRangeFindings(pass *Pass, rs *ast.RangeStmt) []rangeFinding {
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {
 				if i < len(n.Rhs) {
-					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
-						if obj := localTarget(pass, lhs, rs.Body); obj != nil || !declaredWithin(targetObj(pass, lhs), rs.Body) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pkg, call) {
+						if obj := localTarget(pkg, lhs, rs.Body); obj != nil || !declaredWithin(targetObj(pkg, lhs), rs.Body) {
 							add("a slice append (nondeterministic element order)", obj)
 						}
 						continue
 					}
 				}
-				if idx, ok := lhs.(*ast.IndexExpr); ok && isSliceIndex(pass, idx) &&
-					!declaredWithin(baseObj(pass, idx), rs.Body) {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isSliceIndex(pkg, idx) &&
+					!declaredWithin(baseObj(pkg, idx), rs.Body) {
 					add("an indexed slice write (nondeterministic write order)", nil)
 				}
 			}
 		case *ast.IncDecStmt:
-			if idx, ok := n.X.(*ast.IndexExpr); ok && isSliceIndex(pass, idx) &&
-				!declaredWithin(baseObj(pass, idx), rs.Body) {
+			if idx, ok := n.X.(*ast.IndexExpr); ok && isSliceIndex(pkg, idx) &&
+				!declaredWithin(baseObj(pkg, idx), rs.Body) {
 				add("an indexed slice write (nondeterministic write order)", nil)
 			}
 		case *ast.CallExpr:
@@ -122,12 +122,12 @@ func collectRangeFindings(pass *Pass, rs *ast.RangeStmt) []rangeFinding {
 
 // localTarget returns the object of lhs when it is a plain identifier
 // declared outside body (a candidate for the collect-then-sort exemption).
-func localTarget(pass *Pass, lhs ast.Expr, body *ast.BlockStmt) types.Object {
+func localTarget(pkg *Package, lhs ast.Expr, body *ast.BlockStmt) types.Object {
 	id, ok := lhs.(*ast.Ident)
 	if !ok {
 		return nil
 	}
-	obj := pass.Pkg.Info.ObjectOf(id)
+	obj := pkg.Info.ObjectOf(id)
 	if obj == nil || declaredWithin(obj, body) {
 		return nil
 	}
@@ -139,11 +139,11 @@ func localTarget(pass *Pass, lhs ast.Expr, body *ast.BlockStmt) types.Object {
 
 // targetObj resolves the ultimate identifier object a write lands on, or
 // nil when it cannot be determined.
-func targetObj(pass *Pass, e ast.Expr) types.Object {
+func targetObj(pkg *Package, e ast.Expr) types.Object {
 	for {
 		switch x := e.(type) {
 		case *ast.Ident:
-			return pass.Pkg.Info.ObjectOf(x)
+			return pkg.Info.ObjectOf(x)
 		case *ast.IndexExpr:
 			e = x.X
 		case *ast.StarExpr:
@@ -151,7 +151,7 @@ func targetObj(pass *Pass, e ast.Expr) types.Object {
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.SelectorExpr:
-			return pass.Pkg.Info.ObjectOf(x.Sel)
+			return pkg.Info.ObjectOf(x.Sel)
 		default:
 			return nil
 		}
@@ -160,8 +160,8 @@ func targetObj(pass *Pass, e ast.Expr) types.Object {
 
 // baseObj resolves the identifier at the base of an index expression chain
 // (counts[bb][i] -> counts).
-func baseObj(pass *Pass, idx *ast.IndexExpr) types.Object {
-	return targetObj(pass, idx.X)
+func baseObj(pkg *Package, idx *ast.IndexExpr) types.Object {
+	return targetObj(pkg, idx.X)
 }
 
 // declaredWithin reports whether obj's declaration lies inside node. A nil
@@ -175,7 +175,7 @@ func declaredWithin(obj types.Object, node ast.Node) bool {
 
 // sortedAfter reports whether obj is passed to a sort call located after
 // the range statement within the enclosing function body.
-func sortedAfter(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+func sortedAfter(pkg *Package, encl *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
 	found := false
 	ast.Inspect(encl, func(n ast.Node) bool {
 		if found {
@@ -189,11 +189,11 @@ func sortedAfter(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt, obj types.O
 		if !ok || !sortCalls[sel.Sel.Name] {
 			return true
 		}
-		pkg, ok := sel.X.(*ast.Ident)
+		pkgID, ok := sel.X.(*ast.Ident)
 		if !ok {
 			return true
 		}
-		if pn, ok := pass.Pkg.Info.ObjectOf(pkg).(*types.PkgName); !ok || pn.Imported().Path() != "sort" {
+		if pn, ok := pkg.Info.ObjectOf(pkgID).(*types.PkgName); !ok || pn.Imported().Path() != "sort" {
 			return true
 		}
 		if len(call.Args) == 0 {
@@ -202,7 +202,7 @@ func sortedAfter(pass *Pass, encl *ast.BlockStmt, rs *ast.RangeStmt, obj types.O
 		// The sorted value may be wrapped (sort.Sort(byKey(keys))): search
 		// the first argument for the collected slice.
 		ast.Inspect(call.Args[0], func(a ast.Node) bool {
-			if id, ok := a.(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
+			if id, ok := a.(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
 				found = true
 			}
 			return !found

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Effect is a bitset of per-function behaviors the interprocedural
+// analyzers reason about. Direct effects are collected syntactically from a
+// function's own body; the transitive summary is the union over everything
+// reachable through the call graph, computed bottom-up over strongly
+// connected components (DESIGN.md §3.6). Summaries are deliberately coarse:
+// they answer "may this function ever X", not "does it X on this path".
+type Effect uint16
+
+const (
+	// EffClock: reads the wall clock (time.Now/Since/Until, timer and
+	// ticker constructors). Wall-clock values are the canonical
+	// nondeterminism source behind budget-dependent results.
+	EffClock Effect = 1 << iota
+	// EffRand: calls a package-level math/rand function. The process-global
+	// generator is nondeterministically seeded; the repo's sanctioned idiom
+	// is an explicitly seeded rand.New(rand.NewSource(seed)), which this
+	// bit does not cover (detsource tracks seeded generators precisely).
+	EffRand
+	// EffEnv: reads the process environment (os.Getenv and friends).
+	EffEnv
+	// EffFS: touches the filesystem through package os or filepath walks.
+	EffFS
+	// EffMapIter: ranges over a map with an order-leaking body (the same
+	// predicate rangemaporder flags, minus the collect-then-sort idiom).
+	EffMapIter
+	// EffParamWrite: writes through a pointer/slice/map parameter, the
+	// receiver, a captured variable, or a package-level variable.
+	EffParamWrite
+	// EffLock: acquires a sync.Mutex/RWMutex.
+	EffLock
+	// EffBlock: may block — channel send/receive, select, or
+	// sync.WaitGroup.Wait (sync.Cond.Wait is exempt: it releases its
+	// locker while waiting).
+	EffBlock
+	// EffSolver: reaches a solver entry point (Solve, ReSolveDual,
+	// Allocate) — long-running work that must never run under a mutex.
+	EffSolver
+	// EffGo: spawns a goroutine.
+	EffGo
+	// EffFsync: reaches an (*os.File).Sync or os.Rename — the durability
+	// operations whose dropped errors break the crash-safety story, used
+	// by errdrop to widen its strict mode beyond internal/checkpoint.
+	EffFsync
+)
+
+// asyncSuppressed are the effect bits that do not propagate across go and
+// defer edges: a goroutine's blocking or solver work does not block its
+// spawner, and deferred closures run outside the body the summary
+// describes (matching the intra-procedural lockheld scoping).
+const asyncSuppressed = EffBlock | EffSolver | EffLock
+
+var effectNames = []struct {
+	bit  Effect
+	name string
+}{
+	{EffClock, "clock"},
+	{EffRand, "rand"},
+	{EffEnv, "env"},
+	{EffFS, "fs"},
+	{EffMapIter, "mapiter"},
+	{EffParamWrite, "paramwrite"},
+	{EffLock, "lock"},
+	{EffBlock, "block"},
+	{EffSolver, "solver"},
+	{EffGo, "go"},
+	{EffFsync, "fsync"},
+}
+
+func (e Effect) String() string {
+	if e == 0 {
+		return "pure"
+	}
+	var parts []string
+	for _, en := range effectNames {
+		if e&en.bit != 0 {
+			parts = append(parts, en.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// An effectWitness records where one effect bit of a summary comes from:
+// either a position in the function's own body (via == nil) or the callee
+// whose summary supplied the bit.
+type effectWitness struct {
+	pos  token.Pos
+	desc string
+	via  *CGNode // callee that contributed the bit, nil when direct
+}
+
+// witness returns the witness for a single effect bit, or nil.
+func (n *CGNode) witness(bit Effect) *effectWitness {
+	return n.witnesses[bit]
+}
+
+// setWitness records the first witness observed for bit.
+func (n *CGNode) setWitness(bit Effect, w effectWitness) {
+	if n.witnesses == nil {
+		n.witnesses = make(map[Effect]*effectWitness)
+	}
+	if n.witnesses[bit] == nil {
+		cp := w
+		n.witnesses[bit] = &cp
+	}
+}
+
+// witnessChain renders the call path from n to the body position that
+// justifies bit, e.g. "core.solveOne → mip.Solve → simplex.(*Solver).Solve".
+// The final element carries the witness description.
+func (n *CGNode) witnessChain(bit Effect) (chain string, desc string, pos token.Pos) {
+	var hops []string
+	cur := n
+	for i := 0; cur != nil && i < 6; i++ {
+		w := cur.witness(bit)
+		if w == nil {
+			break
+		}
+		desc, pos = w.desc, w.pos
+		if w.via == nil {
+			break
+		}
+		hops = append(hops, w.via.Label)
+		cur = w.via
+	}
+	return strings.Join(hops, " → "), desc, pos
+}
+
+// addDirect records a direct effect with its witness.
+func (n *CGNode) addDirect(bit Effect, pos token.Pos, desc string) {
+	n.Direct |= bit
+	n.setWitness(bit, effectWitness{pos: pos, desc: desc})
+}
+
+// edgeMask returns the effect bits that propagate across an edge kind.
+func edgeMask(kind EdgeKind) Effect {
+	switch kind {
+	case EdgeGo, EdgeDefer:
+		return ^Effect(0) &^ asyncSuppressed
+	default:
+		return ^Effect(0)
+	}
+}

@@ -1,0 +1,823 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism taint. The engine tracks, per function, which local variables
+// carry data that could differ between two runs of the same inputs:
+//
+//   - TaintValue: the value itself is nondeterministic — wall clock,
+//     process-global math/rand, the environment, or a value selected by a
+//     nondeterministic iteration ("last map iteration wins").
+//   - TaintOrder: the value is a collection whose element order depends on
+//     map iteration or goroutine completion order; its contents as a set
+//     are deterministic.
+//   - taintKV: transient — the value derives from the current iteration's
+//     key/value of a map range (or a channel receive). KV data is special
+//     because the repo's keyed-write idiom launders it: out[f(k)] = g(k,v)
+//     produces the same final contents in every iteration order. KV only
+//     hardens into a real taint when it is accumulated positionally
+//     (append), folded non-commutatively into a variable that outlives the
+//     loop, or returned mid-iteration.
+//
+// Sanitizers, matching DESIGN.md §3.6:
+//
+//   - collect-then-sort: a slice ever passed to a sort call loses
+//     TaintOrder (and KV) — the canonical sorted-iteration idiom.
+//   - keyed writes: index writes whose index derives from the loop's own
+//     key/value are order-independent.
+//   - guarded selection: `if k == want { x = v }` picks a deterministic
+//     element, not a nondeterministic one.
+//   - commutative exact folds: integer += / ++ and math.Min/math.Max
+//     chains commute exactly in floating point, unlike float +=.
+//   - seeded generators: rand.New(rand.NewSource(seed)) is deterministic
+//     unless the seed itself is tainted.
+//
+// The engine is flow-insensitive within a function (a fixpoint over all
+// assignments) and interprocedural through per-function return-taint
+// summaries computed bottom-up over the call-graph SCCs.
+
+// Taint is the determinism-taint bitset.
+type Taint uint8
+
+const (
+	// TaintValue marks nondeterministic values.
+	TaintValue Taint = 1 << iota
+	// TaintOrder marks collections with nondeterministic element order.
+	TaintOrder
+	// taintKV marks data derived from the current iteration of an
+	// order-source loop; see above. Never stored in summaries.
+	taintKV
+)
+
+// taintSrc is the witness for one taint bit.
+type taintSrc struct {
+	pos  token.Pos
+	desc string
+}
+
+// tinfo is the taint of one expression during evaluation.
+type tinfo struct {
+	bits Taint
+	srcV taintSrc // witness for TaintValue
+	srcO taintSrc // witness for TaintOrder
+	srcK taintSrc // witness for taintKV
+	// commutative marks math.Min/math.Max folds, exempt from the
+	// last-write-wins escalation.
+	commutative bool
+}
+
+func (t *tinfo) merge(o tinfo) {
+	if o.bits&TaintValue != 0 && t.bits&TaintValue == 0 {
+		t.srcV = o.srcV
+	}
+	if o.bits&TaintOrder != 0 && t.bits&TaintOrder == 0 {
+		t.srcO = o.srcO
+	}
+	if o.bits&taintKV != 0 && t.bits&taintKV == 0 {
+		t.srcK = o.srcK
+	}
+	t.bits |= o.bits
+}
+
+// taintVal is the stored fixpoint taint of a local variable.
+type taintVal struct {
+	bits Taint
+	srcV taintSrc
+	srcO taintSrc
+	srcK taintSrc
+}
+
+// taintCtx is the statement-walk context.
+type taintCtx struct {
+	// loop is the innermost active order-source loop (map or channel
+	// range), nil outside one.
+	loop *ast.RangeStmt
+	// guarded is true inside a branch whose condition mentions an
+	// order-source variable: stores there select deterministically.
+	guarded bool
+}
+
+// taintEngine runs the per-function analysis. With pass == nil it only
+// computes the variable fixpoint and return taint (the summary pass);
+// detsource re-walks with pass set to diagnose sink flows.
+type taintEngine struct {
+	m   *Module
+	n   *CGNode
+	pkg *Package
+
+	orderVars  map[types.Object]taintSrc
+	sortedVars map[types.Object]bool
+	changed    bool
+
+	// pass, when non-nil, enables sink reporting (detsource).
+	pass *Pass
+}
+
+// computeTaint runs the taint summaries bottom-up over the SCCs recorded
+// by propagate, iterating within each component to a fixpoint.
+func (m *Module) computeTaint() {
+	for _, scc := range m.sccs {
+		for {
+			changed := false
+			for _, n := range scc {
+				if n.body() == nil {
+					continue
+				}
+				e := newTaintEngine(m, n, nil)
+				e.run()
+				changed = changed || e.changed
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+func newTaintEngine(m *Module, n *CGNode, pass *Pass) *taintEngine {
+	if n.varTaint == nil {
+		n.varTaint = make(map[types.Object]*taintVal)
+	}
+	e := &taintEngine{m: m, n: n, pkg: n.Pkg, pass: pass,
+		orderVars:  make(map[types.Object]taintSrc),
+		sortedVars: make(map[types.Object]bool),
+	}
+	e.collectSortedVars()
+	return e
+}
+
+// collectSortedVars finds every variable passed (anywhere inside an
+// argument) to a sort-package call in this function: the collect-then-sort
+// idiom clears order taint for them wholesale.
+func (e *taintEngine) collectSortedVars() {
+	body := e.n.body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !sortCalls[sel.Sel.Name] {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := e.pkg.Info.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if _, isLit := a.(*ast.FuncLit); isLit {
+					return false // the comparator is not the sorted value
+				}
+				if id, ok := a.(*ast.Ident); ok {
+					if v, ok := e.pkg.Info.ObjectOf(id).(*types.Var); ok {
+						e.sortedVars[v] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// run iterates the statement walk to a variable fixpoint.
+func (e *taintEngine) run() {
+	for range [16]struct{}{} {
+		before := e.changed
+		e.changed = false
+		e.walkStmts(e.n.body().List, taintCtx{})
+		if !e.changed {
+			e.changed = before
+			return
+		}
+	}
+}
+
+// mergeVar folds t into the stored taint of obj, applying the sorted-vars
+// sanitizer, and reports whether anything new was learned.
+func (e *taintEngine) mergeVar(obj types.Object, t tinfo) {
+	if obj == nil {
+		return
+	}
+	bits := t.bits
+	if e.sortedVars[obj] {
+		bits &^= TaintOrder | taintKV
+	}
+	if bits == 0 {
+		return
+	}
+	v := e.n.varTaint[obj]
+	if v == nil {
+		v = &taintVal{}
+		e.n.varTaint[obj] = v
+	}
+	if bits&^v.bits != 0 {
+		if bits&TaintValue != 0 && v.bits&TaintValue == 0 {
+			v.srcV = t.srcV
+		}
+		if bits&TaintOrder != 0 && v.bits&TaintOrder == 0 {
+			v.srcO = t.srcO
+		}
+		if bits&taintKV != 0 && v.bits&taintKV == 0 {
+			v.srcK = t.srcK
+		}
+		v.bits |= bits
+		e.changed = true
+	}
+}
+
+func (e *taintEngine) mergeRet(t tinfo) {
+	bits := t.bits &^ taintKV
+	if bits&^e.n.retTaint != 0 {
+		if bits&TaintValue != 0 && e.n.retTaint&TaintValue == 0 {
+			e.n.retSrc[0] = t.srcV
+		}
+		if bits&TaintOrder != 0 && e.n.retTaint&TaintOrder == 0 {
+			e.n.retSrc[1] = t.srcO
+		}
+		e.n.retTaint |= bits
+		e.changed = true
+	}
+}
+
+func (e *taintEngine) walkStmts(stmts []ast.Stmt, ctx taintCtx) {
+	for _, s := range stmts {
+		e.walkStmt(s, ctx)
+	}
+}
+
+func (e *taintEngine) walkStmt(s ast.Stmt, ctx taintCtx) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		e.assign(s, ctx)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						e.assignTo(name, e.eval(vs.Values[i], ctx), vs.Values[i], ctx)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		// ++/-- is a commutative integer fold: never escalates KV.
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			t := e.eval(res, ctx)
+			if t.bits&taintKV != 0 {
+				// Returning mid-iteration selects a nondeterministic element.
+				t.bits = t.bits&^taintKV | TaintValue
+				if t.srcV.desc == "" {
+					t.srcV = t.srcK
+				}
+			}
+			e.mergeRet(t)
+			if e.pass != nil {
+				e.reportReturn(res, t)
+			}
+		}
+	case *ast.RangeStmt:
+		e.walkRange(s, ctx)
+	case *ast.BlockStmt:
+		e.walkStmts(s.List, ctx)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			e.walkStmt(s.Init, ctx)
+		}
+		e.evalForSinks(s.Cond, ctx)
+		inner := ctx
+		if e.mentionsOrderVar(s.Cond) {
+			inner.guarded = true
+		}
+		e.walkStmt(s.Body, inner)
+		if s.Else != nil {
+			e.walkStmt(s.Else, inner)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			e.walkStmt(s.Init, ctx)
+		}
+		if s.Post != nil {
+			e.walkStmt(s.Post, ctx)
+		}
+		e.walkStmt(s.Body, ctx)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			e.walkStmt(s.Init, ctx)
+		}
+		inner := ctx
+		if s.Tag != nil && e.mentionsOrderVar(s.Tag) {
+			inner.guarded = true
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				e.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				e.walkStmts(cc.Body, ctx)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					e.walkStmt(cc.Comm, ctx)
+				}
+				e.walkStmts(cc.Body, ctx)
+			}
+		}
+	case *ast.ExprStmt:
+		e.evalForSinks(s.X, ctx)
+	case *ast.GoStmt:
+		e.evalForSinks(s.Call, ctx)
+	case *ast.DeferStmt:
+		e.evalForSinks(s.Call, ctx)
+	case *ast.SendStmt:
+		e.evalForSinks(s.Value, ctx)
+	case *ast.LabeledStmt:
+		e.walkStmt(s.Stmt, ctx)
+	}
+}
+
+// walkRange binds the iteration variables of an order-source loop and
+// walks the body under the extended context.
+func (e *taintEngine) walkRange(rs *ast.RangeStmt, ctx taintCtx) {
+	tX := e.eval(rs.X, ctx)
+	bind := func(expr ast.Expr, src taintSrc, carry tinfo) {
+		if expr == nil {
+			return
+		}
+		id, ok := expr.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := e.pkg.Info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if src.desc != "" {
+			// Engine-local binding (rebuilt on every run): does not count as
+			// a fixpoint change, or the SCC iteration would never converge.
+			e.orderVars[obj] = src
+		}
+		carry.bits &^= taintKV | TaintOrder // order of the source, not of the elements
+		e.mergeVar(obj, carry)
+	}
+	xt := e.pkg.Info.TypeOf(rs.X)
+	inner := ctx
+	switch {
+	case xt != nil && isMapType(xt):
+		src := taintSrc{pos: rs.For, desc: "iteration order of map " + exprString(rs.X)}
+		bind(rs.Key, src, tX)
+		bind(rs.Value, src, tX)
+		inner.loop = rs
+	case xt != nil && isChanType(xt):
+		src := taintSrc{pos: rs.For, desc: "goroutine completion order (range over channel " + exprString(rs.X) + ")"}
+		bind(rs.Key, src, tX)
+		inner.loop = rs
+	case tX.bits&TaintOrder != 0:
+		// Ranging an order-tainted slice: the element set is
+		// deterministic, the sequence is not — same laundering rules as a
+		// map range.
+		src := taintSrc{pos: rs.For, desc: tX.srcO.desc}
+		if src.desc == "" {
+			src.desc = "nondeterministic element order of " + exprString(rs.X)
+		}
+		bind(rs.Key, taintSrc{}, tinfo{})
+		bind(rs.Value, src, tinfo{bits: tX.bits &^ TaintOrder, srcV: tX.srcV})
+		inner.loop = rs
+	default:
+		bind(rs.Key, taintSrc{}, tX)
+		bind(rs.Value, taintSrc{}, tX)
+	}
+	e.walkStmt(rs.Body, inner)
+}
+
+// assign handles one assignment statement, including compound assignments.
+func (e *taintEngine) assign(s *ast.AssignStmt, ctx taintCtx) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound fold: x op= rhs.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			t := e.eval(s.Rhs[0], ctx)
+			t.merge(e.eval(s.Lhs[0], ctx))
+			if t.bits&taintKV != 0 {
+				if isFloat(e.pkg.Info.TypeOf(s.Lhs[0])) {
+					// Float accumulation in nondeterministic order: rounding
+					// makes the fold non-commutative bit-for-bit.
+					t.bits = t.bits&^taintKV | TaintValue
+					t.srcV = taintSrc{pos: s.Pos(), desc: "floating-point accumulation in " + t.srcK.desc}
+				} else {
+					t.bits &^= taintKV // integer folds commute exactly
+				}
+			}
+			e.assignTo(s.Lhs[0], t, s.Rhs[0], ctx)
+		}
+		return
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		t := e.eval(s.Rhs[0], ctx)
+		for _, lhs := range s.Lhs {
+			e.assignTo(lhs, t, s.Rhs[0], ctx)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		e.assignTo(lhs, e.eval(s.Rhs[i], ctx), s.Rhs[i], ctx)
+	}
+}
+
+// assignTo merges taint into an assignment target, applying the KV
+// hardening rules.
+func (e *taintEngine) assignTo(lhs ast.Expr, t tinfo, rhs ast.Expr, ctx taintCtx) {
+	lhs = unparen(lhs)
+	switch target := lhs.(type) {
+	case *ast.Ident:
+		if target.Name == "_" {
+			return
+		}
+		obj := e.pkg.Info.ObjectOf(target)
+		if obj == nil {
+			return
+		}
+		if t.bits&taintKV != 0 {
+			switch {
+			case e.selfAppend(target, rhs):
+				// s = append(s, kvExpr): positional accumulation across
+				// iterations — the element order is the iteration order.
+				t.bits = t.bits&^taintKV | TaintOrder
+				t.srcO = t.srcK
+			case ctx.loop != nil && !declaredWithin(obj, ctx.loop) && !ctx.guarded && !t.commutative:
+				// Unguarded last-write-wins into a variable that outlives
+				// the loop: which iteration's value survives is
+				// nondeterministic.
+				t.bits = t.bits&^taintKV | TaintValue
+				t.srcV = taintSrc{pos: lhs.Pos(), desc: "last-iteration-wins write from " + t.srcK.desc}
+			case ctx.guarded || t.commutative:
+				t.bits &^= taintKV
+			}
+		}
+		e.mergeVar(obj, t)
+	case *ast.IndexExpr:
+		tIdx := e.eval(target.Index, ctx)
+		base := baseObj(e.pkg, target)
+		keyed := tIdx.bits&taintKV != 0
+		switch {
+		case keyed:
+			// out[f(k)] = g(k,v): final contents are iteration-order
+			// independent.
+			t.bits &^= taintKV
+		case ctx.loop != nil:
+			// Positional write under an order-source loop.
+			t.bits |= TaintOrder
+			if src, ok := e.orderVars[rangeKeyObj(e.pkg, ctx.loop)]; ok {
+				t.srcO = src
+			} else {
+				t.srcO = taintSrc{pos: lhs.Pos(), desc: "indexed write under an order-source loop"}
+			}
+		}
+		e.mergeVar(base, t)
+	case *ast.StarExpr:
+		e.mergeVar(targetObj(e.pkg, target.X), t)
+	case *ast.SelectorExpr:
+		// Field stores are checked as sinks (protected types) but do not
+		// taint the whole base object: that would double-report every
+		// flagged field write at the base's later uses.
+		if e.pass != nil {
+			e.reportFieldStore(target, t, ctx)
+		}
+	}
+}
+
+// selfAppend reports whether rhs is append(target, ...).
+func (e *taintEngine) selfAppend(target *ast.Ident, rhs ast.Expr) bool {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(e.pkg, call) || len(call.Args) == 0 {
+		return false
+	}
+	baseID, ok := unparen(call.Args[0]).(*ast.Ident)
+	return ok && e.pkg.Info.ObjectOf(baseID) == e.pkg.Info.ObjectOf(target)
+}
+
+// mentionsOrderVar reports whether expr references an order-source
+// iteration variable.
+func (e *taintEngine) mentionsOrderVar(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if _, ok := e.orderVars[e.pkg.Info.ObjectOf(id)]; ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// evalForSinks evaluates an expression purely for its sink side effects
+// (call arguments) during the reporting pass.
+func (e *taintEngine) evalForSinks(expr ast.Expr, ctx taintCtx) {
+	if expr == nil {
+		return
+	}
+	e.eval(expr, ctx)
+}
+
+// eval computes the taint of an expression.
+func (e *taintEngine) eval(expr ast.Expr, ctx taintCtx) tinfo {
+	switch x := unparen(expr).(type) {
+	case *ast.Ident:
+		return e.identTaint(x)
+	case *ast.CallExpr:
+		return e.callTaint(x, ctx)
+	case *ast.BinaryExpr:
+		t := e.eval(x.X, ctx)
+		t.merge(e.eval(x.Y, ctx))
+		if x.Op.IsOperator() && isComparison(x.Op) {
+			// Comparing two values yields a bool that does not inherit the
+			// collection-order bit — order taint is about sequences.
+			t.bits &^= TaintOrder
+		}
+		return t
+	case *ast.IndexExpr:
+		tX := e.eval(x.X, ctx)
+		tI := e.eval(x.Index, ctx)
+		t := tX
+		t.merge(tI)
+		if xt := e.pkg.Info.TypeOf(x.X); xt != nil && isSliceType(xt) && tX.bits&TaintOrder != 0 {
+			// Indexing a slice with nondeterministic element order selects a
+			// nondeterministic element.
+			t.bits = t.bits&^TaintOrder | TaintValue
+			if t.srcV.desc == "" {
+				t.srcV = tX.srcO
+			}
+		}
+		return t
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := e.pkg.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				return tinfo{} // qualified identifier; calls handled in callTaint
+			}
+		}
+		return e.eval(x.X, ctx)
+	case *ast.StarExpr:
+		return e.eval(x.X, ctx)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			// A channel receive observes goroutine completion order.
+			return tinfo{bits: taintKV,
+				srcK: taintSrc{pos: x.OpPos, desc: "goroutine completion order (receive from " + exprString(x.X) + ")"}}
+		}
+		return e.eval(x.X, ctx)
+	case *ast.CompositeLit:
+		var t tinfo
+		for _, elt := range x.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			te := e.eval(val, ctx)
+			if e.pass != nil {
+				e.sinkCompositeElt(x, val, te)
+			}
+			if timeTelemetry(e.pkg.Info.TypeOf(val)) {
+				// A timing-telemetry element (SolveTime: time.Since(start))
+				// is an exempt sink and must not taint the whole literal:
+				// the surrounding Result stays clean.
+				continue
+			}
+			t.merge(te)
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return e.eval(x.X, ctx)
+	case *ast.SliceExpr:
+		t := e.eval(x.X, ctx)
+		for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+			if b != nil {
+				t.merge(e.eval(b, ctx))
+			}
+		}
+		return t
+	case *ast.KeyValueExpr:
+		t := e.eval(x.Key, ctx)
+		t.merge(e.eval(x.Value, ctx))
+		return t
+	}
+	return tinfo{}
+}
+
+// identTaint reads the accumulated taint of a variable, consulting
+// enclosing functions for closure captures.
+func (e *taintEngine) identTaint(id *ast.Ident) tinfo {
+	obj := e.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return tinfo{}
+	}
+	var t tinfo
+	if src, ok := e.orderVars[obj]; ok {
+		t.merge(tinfo{bits: taintKV, srcK: src})
+	}
+	for n := e.n; n != nil; n = n.Parent {
+		if v := n.varTaint[obj]; v != nil {
+			t.merge(tinfo{bits: v.bits, srcV: v.srcV, srcO: v.srcO, srcK: v.srcK})
+			break
+		}
+	}
+	if e.sortedVars[obj] {
+		t.bits &^= TaintOrder | taintKV
+	}
+	return t
+}
+
+// callTaint computes the taint of a call's result: intrinsic sources,
+// sanitizing calls, module-callee return summaries, and a generic
+// arguments-flow-to-result transfer for everything else (which is what lets
+// out[f(k)] keep its keyed-write exemption through helper calls).
+func (e *taintEngine) callTaint(call *ast.CallExpr, ctx taintCtx) tinfo {
+	var argT []tinfo
+	for _, arg := range call.Args {
+		argT = append(argT, e.eval(arg, ctx))
+	}
+	if e.pass != nil {
+		e.sinkCall(call, argT)
+	}
+
+	if t, handled := e.intrinsicTaint(call, argT); handled {
+		return t
+	}
+
+	var t tinfo
+	for _, at := range argT {
+		t.merge(at)
+	}
+	// A method call's receiver flows into the result too.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, isID := sel.X.(*ast.Ident); isID {
+			if _, isPkg := e.pkg.Info.ObjectOf(id).(*types.PkgName); !isPkg {
+				t.merge(e.eval(sel.X, ctx))
+			}
+		} else {
+			t.merge(e.eval(sel.X, ctx))
+		}
+	}
+	// Module callees contribute their return-taint summaries.
+	for _, callee := range e.m.CalleesAt(call) {
+		if callee.retTaint != 0 {
+			t.merge(tinfo{bits: callee.retTaint,
+				srcV: retWitness(callee, 0), srcO: retWitness(callee, 1)})
+		}
+	}
+	return t
+}
+
+func retWitness(n *CGNode, i int) taintSrc {
+	src := n.retSrc[i]
+	if src.desc != "" {
+		src.desc = src.desc + " (returned by " + n.Label + ")"
+	}
+	return src
+}
+
+// intrinsicTaint recognizes standard-library taint sources and sanitizers.
+// handled == false falls through to the generic transfer.
+func (e *taintEngine) intrinsicTaint(call *ast.CallExpr, argT []tinfo) (tinfo, bool) {
+	var fn *types.Func
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = e.pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = e.pkg.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || e.m.byFunc[fn] != nil {
+		return tinfo{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	recv := ""
+	if sig != nil && sig.Recv() != nil {
+		recv = sig.Recv().Type().String()
+	}
+	name := fn.Name()
+	pos := call.Pos()
+	switch fn.Pkg().Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			return tinfo{bits: TaintValue, srcV: taintSrc{pos: pos, desc: "wall clock (time." + name + ")"}}, true
+		}
+	case "math/rand", "math/rand/v2":
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Explicitly seeded constructor: deterministic unless the seed
+			// itself is tainted — the generic transfer covers that.
+			return tinfo{}, false
+		}
+		if recv == "" {
+			return tinfo{bits: TaintValue,
+				srcV: taintSrc{pos: pos, desc: "process-global math/rand." + name}}, true
+		}
+		// Method on an explicit *rand.Rand: taint follows the generator
+		// variable (its seed), via the generic receiver transfer.
+		return tinfo{}, false
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ", "Hostname":
+			return tinfo{bits: TaintValue, srcV: taintSrc{pos: pos, desc: "process environment (os." + name + ")"}}, true
+		}
+	case "sort", "slices":
+		// Sorting restores a canonical order; value taint still flows.
+		var t tinfo
+		for _, at := range argT {
+			t.merge(at)
+		}
+		t.bits &^= TaintOrder | taintKV
+		return t, true
+	case "maps":
+		switch name {
+		case "Keys", "Values":
+			var t tinfo
+			for _, at := range argT {
+				t.merge(at)
+			}
+			t.bits |= TaintOrder
+			t.srcO = taintSrc{pos: pos, desc: "iteration order of maps." + name}
+			return t, true
+		}
+	case "math":
+		switch name {
+		case "Min", "Max":
+			// Exact commutative folds: KV accumulated through them stays
+			// order-independent.
+			var t tinfo
+			for _, at := range argT {
+				t.merge(at)
+			}
+			t.commutative = true
+			return t, true
+		}
+	}
+	return tinfo{}, false
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isSliceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// rangeKeyObj returns the object bound to the key of a range statement.
+func rangeKeyObj(pkg *Package, rs *ast.RangeStmt) types.Object {
+	if rs == nil || rs.Key == nil {
+		return nil
+	}
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pkg.Info.ObjectOf(id)
+}

@@ -1,0 +1,68 @@
+// Package cg is golden-test input for the call graph and effect-summary
+// substrate (no analyzer runs here; module_test.go asserts the graph
+// directly): interface dispatch, method values, closures, recursion
+// through an SCC, and the go-statement async mask.
+package cg
+
+import "time"
+
+// --- interface dispatch ---------------------------------------------------
+
+type pinger interface {
+	ping() int
+}
+
+type blockingPinger struct{ ch chan int }
+
+func (b *blockingPinger) ping() int { return <-b.ch }
+
+type clockPinger struct{}
+
+func (clockPinger) ping() int { return int(time.Now().Unix()) }
+
+func callPing(p pinger) int {
+	return p.ping()
+}
+
+// --- method values --------------------------------------------------------
+
+func methodValue(b *blockingPinger) func() int {
+	f := b.ping
+	return f
+}
+
+// --- closures -------------------------------------------------------------
+
+func closureClock() int {
+	f := func() int { return int(time.Now().Unix()) }
+	return f()
+}
+
+// --- SCC recursion --------------------------------------------------------
+
+func mutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return mutualB(n - 1)
+}
+
+func mutualB(n int) int {
+	if n <= 0 {
+		return int(time.Now().Unix())
+	}
+	return mutualA(n - 1)
+}
+
+// --- go-statement async mask ----------------------------------------------
+
+func spawnBlocked(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+func callBlocked(ch chan int) {
+	b := &blockingPinger{ch: ch}
+	_ = b.ping()
+}

@@ -1,0 +1,168 @@
+// Package det is golden-test input for the detsource analyzer: flows from
+// nondeterminism sources into protected result types, and the sanitizer
+// idioms that legitimately break those flows.
+package det
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Result matches the protected-type naming convention (every *Result is
+// solver output under the determinism contract).
+type Result struct {
+	W         float64
+	V         float64
+	Seed      int64
+	Order     []string
+	SolveTime time.Duration
+}
+
+type problem struct{}
+
+func (p *problem) AddVar(obj float64) int { return 0 }
+
+// --- wall clock -----------------------------------------------------------
+
+func clockIntoResult() Result {
+	var r Result
+	r.Seed = time.Now().Unix() // want "wall clock"
+	return r
+}
+
+func clockTelemetryOK(start time.Time) Result {
+	var r Result
+	r.SolveTime = time.Since(start) // time.Duration fields are telemetry
+	return r
+}
+
+func clockTelemetryLiteralOK(start time.Time, w float64) Result {
+	// The exempt SolveTime element must not taint the rest of the literal.
+	r := Result{W: w, SolveTime: time.Since(start)}
+	r.V = r.W
+	return r
+}
+
+// --- math/rand ------------------------------------------------------------
+
+func globalRandIntoResult() Result {
+	var r Result
+	r.W = rand.Float64() // want "math/rand"
+	return r
+}
+
+func seededRandOK(seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	var r Result
+	r.W = rng.Float64() // explicitly seeded: reproducible by construction
+	return r
+}
+
+// --- map iteration order --------------------------------------------------
+
+func mapFoldIntoResult(m map[string]float64) Result {
+	var w float64
+	for _, v := range m {
+		w += v // float accumulation picks up iteration order
+	}
+	var r Result
+	r.W = w // want "floating-point accumulation"
+	return r
+}
+
+func sortedFoldOK(m map[string]float64) Result {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var w float64
+	for _, k := range keys {
+		w += m[k]
+	}
+	var r Result
+	r.W = w // collect-then-sort sanitizes the order
+	return r
+}
+
+func intFoldOK(m map[string]int) Result {
+	var n int
+	for _, v := range m {
+		n += v // integer addition commutes: order cannot show
+	}
+	var r Result
+	r.Seed = int64(n)
+	return r
+}
+
+func lastWriteWinsIntoResult(m map[string]float64, r *Result) {
+	for _, v := range m {
+		r.W = v // want "last-iteration-wins"
+	}
+}
+
+func keyedWriteOK(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] = v * 2 // keyed write: order of stores is invisible
+	}
+}
+
+func randIntoSink(p *problem) {
+	p.AddVar(rand.Float64()) // want "math/rand"
+}
+
+func unsortedKeysIntoResult(m map[string]float64) Result {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var r Result
+	r.Order = keys // want "nondeterministic element order"
+	return r
+}
+
+func sortedKeysOK(m map[string]float64) Result {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var r Result
+	r.Order = keys
+	return r
+}
+
+// --- goroutine completion order -------------------------------------------
+
+func channelDrainIntoResult(ch chan float64, n int) Result {
+	var w float64
+	for i := 0; i < n; i++ {
+		w += <-ch
+	}
+	var r Result
+	r.W = w // want "floating-point accumulation"
+	return r
+}
+
+func channelDrainMaxOK(ch chan float64, n int) Result {
+	var w float64
+	for i := 0; i < n; i++ {
+		w = math.Max(w, <-ch) // max is commutative: arrival order invisible
+	}
+	var r Result
+	r.W = w
+	return r
+}
+
+// --- interprocedural ------------------------------------------------------
+
+func nowFloat() float64 { return float64(time.Now().UnixNano()) }
+
+func taintedHelperIntoResult() Result {
+	x := nowFloat()
+	var r Result
+	r.W = x // want "wall clock"
+	return r
+}

@@ -1,0 +1,100 @@
+// Package ed is golden-test input for the errdrop analyzer: the general
+// bare-statement rule, its conventional exemptions, and the strict rule on
+// durability (fsync-reachable) paths.
+package ed
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+func work() error                 { return errors.New("x") }
+func parse(s string) (int, error) { return 0, nil }
+
+// --- general rule ---------------------------------------------------------
+
+func bareDrop() {
+	work() // want "error result of work is discarded"
+}
+
+func handledOK() error {
+	return work()
+}
+
+func fmtExemptOK() {
+	fmt.Println("status") // print family: conventionally unchecked
+}
+
+func stdoutExemptOK(buf []byte) {
+	os.Stdout.Write(buf) // stdout writes share the print convention
+}
+
+func bufferExemptOK(b *bytes.Buffer) {
+	b.WriteString("x") // documented never to fail
+}
+
+func hashExemptOK(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data) // hash.Hash.Write is documented never to fail
+	return h.Sum64()
+}
+
+func closeBeforeErrorReturnOK(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() // primary error supersedes; the temp file is abandoned
+		return fmt.Errorf("ed: %w", err)
+	}
+	return f.Close()
+}
+
+func closeNotBeforeReturn(f *os.File) {
+	f.Close() // want "error result of f.Close is discarded"
+}
+
+// --- strict rule (durability paths) ---------------------------------------
+
+// flush reaches fsync, so its whole frame is a durability path.
+func flush(f *os.File) error {
+	_ = f.Sync() // want "explicitly discarded on a durability path"
+	return nil
+}
+
+func deferredCloseOnDurabilityPath(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close is discarded on a durability path"
+	return f.Sync()
+}
+
+// A durability-adjacent frame discarding a non-durable error is the general
+// rule's business, not a crash-safety finding: parse has no FS effects.
+func durableScopeNonDurableDropOK(f *os.File, s string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_, _ = parse(s)
+	return nil
+}
+
+// saveAll reaches fsync through flushAndSync, so discarding its error is a
+// strict finding via the interprocedural summary, not a path list.
+func flushAndSync(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func callerDiscardsDurableCallee(f *os.File) error {
+	_ = flushAndSync(f) // want "explicitly discarded on a durability path"
+	return nil
+}

@@ -19,7 +19,7 @@ func suppressedDoubleDash(a, b float64) bool {
 }
 
 func wrongAnalyzerDoesNotSuppress(m map[int]int, out []int) {
-	//fragvet:ignore floatcmp — this names the wrong analyzer for the finding below
+	//fragvet:ignore floatcmp — this names the wrong analyzer for the finding below // want "suppresses nothing"
 	for k, v := range m { // want "iteration order of map"
 		out[k] = v
 	}
@@ -48,7 +48,7 @@ func missingName(m map[int]int, out []int) {
 }
 
 func tooFarAbove(m map[int]int, out []int) {
-	//fragvet:ignore rangemaporder — two lines above the finding, so it does not apply
+	//fragvet:ignore rangemaporder — two lines above the finding, so it does not apply // want "suppresses nothing"
 
 	for k, v := range m { // want "iteration order of map"
 		out[k] = v

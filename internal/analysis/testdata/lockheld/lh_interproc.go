@@ -1,0 +1,64 @@
+// Interprocedural lockheld cases: the danger is inside a callee (or a
+// callee's callee), visible only through the module call graph and effect
+// summaries.
+package lh
+
+func drainOne(s *state) int {
+	return <-s.ch
+}
+
+func viaHelper(s *state) {
+	return
+}
+
+func deepBlock(s *state) int {
+	return drainOne(s)
+}
+
+func recvViaCalleeUnderLock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return drainOne(s) // want "call to lh.drainOne, which may block"
+}
+
+func recvTwoFramesDeepUnderLock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return deepBlock(s) // want "call to lh.deepBlock, which may block"
+}
+
+func solveInHelper(s *state) int {
+	return s.sol.Solve()
+}
+
+func solverViaCalleeUnderLock(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return solveInHelper(s) // want "call to lh.solveInHelper, which reaches solver work"
+}
+
+func pureHelper(x int) int { return x * 2 }
+
+func pureCalleeUnderLockOK(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return pureHelper(3)
+}
+
+func blockingCalleeAfterUnlockOK(s *state) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return drainOne(s)
+}
+
+func goCalleeUnderLockOK(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go drainOne(s) // the goroutine runs on its own schedule, lock-free
+}
+
+func deferCalleeUnderLockOK(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer drainOne(s) // runs at return; lock order there is its own story
+}

@@ -208,6 +208,7 @@ func (st *Store) prune() {
 		return
 	}
 	for len(gens) > 2 {
+		//fragvet:ignore errdrop — prune is documented best-effort: a failed removal of a superseded generation must not fail the Save that just committed a newer one
 		os.Remove(filepath.Join(st.dir, genName(gens[0])))
 		gens = gens[1:]
 	}
@@ -219,6 +220,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	//fragvet:ignore errdrop — read-only directory handle: the Sync error is checked above, and Close of an O_RDONLY fd after a successful fsync has nothing durable left to report
 	defer d.Close()
 	if err := d.Sync(); err != nil {
 		return fmt.Errorf("checkpoint: syncing %s: %w", dir, err)

@@ -378,3 +378,30 @@ func TestRecorderJournal(t *testing.T) {
 		t.Errorf("resumed Progress() W = %v, want 100", w)
 	}
 }
+
+// TestRecorderWDeterministic pins the journaled W to a sorted-key fold.
+// The leaf bytes are chosen so that float addition in any other order
+// yields a different last bit (1e16 + 1 + -1e16 is 0 sorted, 1 otherwise);
+// summing in map iteration order — the bug this test regresses — would
+// make W flip between runs of the identical solve. Fresh maps each trial
+// so Go's per-range iteration randomization gets every chance to reorder.
+func TestRecorderWDeterministic(t *testing.T) {
+	for trial := 0; trial < 32; trial++ {
+		st, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := NewRecorder(st, nil, 0)
+		if err := rec.Bind("key", 1); err != nil {
+			t.Fatal(err)
+		}
+		for id, bytes := range map[string]float64{"a": 1e16, "b": 1, "c": -1e16} {
+			if err := rec.RecordSub(id, &SubRecord{Outcome: "optimal", Leaf: true, Bytes: bytes}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w, _ := rec.Progress(); w != 0 {
+			t.Fatalf("trial %d: W = %v, want 0 (sorted-order fold a,b,c)", trial, w)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -93,9 +94,18 @@ func (r *Recorder) RecordSub(id string, rec *SubRecord) error {
 	defer r.mu.Unlock()
 	r.snap.Subs[id] = rec
 	delete(r.snap.MIPs, id)
+	// Sum in sorted key order: float addition does not commute in the last
+	// bit, so folding in map iteration order would let the journaled W
+	// drift between runs of the same solve — exactly the bit-drift the
+	// resume path's consistency checks exist to catch.
+	ids := make([]string, 0, len(r.snap.Subs))
+	for sid := range r.snap.Subs {
+		ids = append(ids, sid)
+	}
+	sort.Strings(ids)
 	var w float64
-	for _, s := range r.snap.Subs {
-		if s.Leaf {
+	for _, sid := range ids {
+		if s := r.snap.Subs[sid]; s.Leaf {
 			w += s.Bytes
 		}
 	}

@@ -76,6 +76,7 @@ func TestFeatureSwapRegression(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			//fragvet:ignore floatcmp — determinism contract: two identical solves must agree bit-for-bit
 			if on1.W != on2.W || on1.V != on2.V || on1.BBNodes != on2.BBNodes || on1.LPIters != on2.LPIters {
 				t.Errorf("accelerated pipeline not reproducible: W %v vs %v, nodes %d vs %d, lpiters %d vs %d",
 					on1.W, on2.W, on1.BBNodes, on2.BBNodes, on1.LPIters, on2.LPIters)
@@ -96,6 +97,7 @@ func TestFeatureSwapRegression(t *testing.T) {
 					on1.Exact, on1.MaxGap, off.Exact, off.MaxGap)
 			}
 			if c.exact {
+				//fragvet:ignore floatcmp — feature-off equivalence: the flagged path must reproduce the baseline bit-identically
 				if on1.W != off.W || on1.V != off.V {
 					t.Errorf("proven optima differ: accelerated W=%v V=%v vs all-off W=%v V=%v",
 						on1.W, on1.V, off.W, off.V)

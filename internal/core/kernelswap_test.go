@@ -84,6 +84,7 @@ func TestKernelSwapRegression(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			//fragvet:ignore floatcmp — kernel-swap contract: dense and sparse LU kernels must agree bit-for-bit
 			if lu1.W != lu2.W || lu1.V != lu2.V {
 				t.Errorf("LU pipeline not reproducible: W %v vs %v, V %v vs %v", lu1.W, lu2.W, lu1.V, lu2.V)
 			}

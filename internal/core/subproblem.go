@@ -522,6 +522,7 @@ func (sp *subproblem) solve(opt mip.Options, ck *subCheckpoint, hints ...map[int
 			}
 			// Best-effort: a full journal disk must not fail the solve. The
 			// recorder remembers the error for end-of-run reporting.
+			//fragvet:ignore errdrop — journaling is best-effort by design: the recorder retains the failure for end-of-run reporting (SaveErr), and a full journal disk must not abort the solve
 			_ = rec.RecordMIP(id, mr)
 		}
 	}

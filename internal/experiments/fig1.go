@@ -39,7 +39,9 @@ func Fig1(cfg Config) error {
 		cum += rows[r].share
 		fmt.Fprintf(t, "%d\t%s\t%.4f\t%.4f\n", r+1, rows[r].name, rows[r].share, cum)
 	}
-	t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(cfg.Out, "top-%d queries carry %.2f%% of the workload (paper: >97%% TPC-DS, >92%% accounting)\n\n",
 		top, cum*100)
 	return nil

@@ -113,7 +113,9 @@ func Fig2(cfg Config, perScenario bool) error {
 	}
 	// Full replication balances every scenario perfectly at W/V = K.
 	fmt.Fprintf(t, "full replication\t/\t%.3f\t%.3f\t\n", float64(table3K), 1.0)
-	t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(cfg.Out)
 
 	if !perScenario {
@@ -137,7 +139,9 @@ func Fig2(cfg Config, perScenario bool) error {
 	for i := range mOurs.L {
 		fmt.Fprintf(t, "%d\t%.3f\t%.3f\n", i+1, invK/mMerge.L[i], invK/mOurs.L[i])
 	}
-	t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(cfg.Out)
 	return nil
 }

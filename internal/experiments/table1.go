@@ -119,7 +119,9 @@ func Table1(cfg Config) error {
 	for _, line := range lines {
 		fmt.Fprint(t, line)
 	}
-	t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(cfg.Out)
 	return nil
 }

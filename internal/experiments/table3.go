@@ -137,7 +137,9 @@ func Table3(cfg Config) error {
 	for _, line := range lines {
 		fmt.Fprint(t, line)
 	}
-	t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(cfg.Out)
 	return nil
 }
