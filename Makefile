@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race fault crash bench benchcompile bench-mip bench-paper
+.PHONY: check fmt-check vet fragvet build test race fault crash serve bench benchcompile bench-mip bench-paper
 
-check: fmt-check vet fragvet build benchcompile fault crash race
+check: fmt-check vet fragvet build benchcompile fault crash serve race
 	@echo "make check: all stages passed"
 
 fmt-check:
@@ -66,6 +66,17 @@ crash:
 	@t0=$$(date +%s); $(GO) test -run 'Checkpoint|Crash|Resume|Torn|Truncation|BitFlip|Generations|Recorder|Digest' \
 		./internal/checkpoint ./internal/core ./internal/mip ./internal/model || exit $$?; \
 	echo "crash: $$(( $$(date +%s) - t0 ))s"
+
+# Service-layer robustness suite (DESIGN.md §3.11): allocd crash-restart
+# bit-identity (subprocess os.Exit(137) at every service-loop and
+# solve-journal kill point), graceful degradation under injected solver
+# faults, drift/diff goldens, and shutdown wiring — under the race detector
+# because the daemon's solve loop, HTTP handlers, and journal writer share
+# the incumbent.
+serve:
+	@t0=$$(date +%s); $(GO) test -race -timeout 900s -run 'Service|Allocd|Diff|Drift|Shutdown' \
+		./internal/service ./internal/shutdown || exit $$?; \
+	echo "serve: $$(( $$(date +%s) - t0 ))s"
 
 # Bench-rot guard: run every benchmark in the repo exactly once so a
 # benchmark that no longer compiles or crashes fails `make check`. -short

@@ -51,13 +51,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"fragalloc"
 	"fragalloc/internal/checkpoint"
 	"fragalloc/internal/mip"
+	"fragalloc/internal/shutdown"
 )
 
 // Exit codes; see the package doc.
@@ -94,17 +93,8 @@ func main() {
 	// down with their best incumbents instead of dying mid-write. A second
 	// signal forces an immediate exit — the escape hatch when a long LP has
 	// not yet reached its cancellation poll (see the exit-code table above).
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := shutdown.Graceful("allocate", exitInternal)
 	defer cancel()
-	sigs := make(chan os.Signal, 2)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		cancel()
-		<-sigs
-		fmt.Fprintln(os.Stderr, "allocate: second signal, exiting immediately")
-		os.Exit(exitInternal)
-	}()
 	if *timeout > 0 {
 		var timeoutCancel context.CancelFunc
 		ctx, timeoutCancel = context.WithTimeout(ctx, *timeout)

@@ -1,0 +1,159 @@
+// Command allocd is the crash-tolerant allocation daemon: it serves the
+// incumbent fragment allocation over HTTP/JSON, ingests workload-drift
+// updates, and re-optimizes incrementally, warm-starting each solve from the
+// incumbent and emitting a migration diff per adoption (DESIGN.md §3.11).
+//
+// Usage:
+//
+//	allocd -workload tpcds -k 4 -state /var/lib/allocd -addr :8080
+//	allocd -in workload.json -k 8 -chunks 4+4 -scenarios 10 -addr 127.0.0.1:8080
+//
+// Endpoints:
+//
+//	GET  /v1/allocation   the served incumbent + staleness tags; never fails
+//	                      once bootstrapped, even while re-optimization fails
+//	POST /v1/update       ingest a drift update (?wait=1 blocks for the solve
+//	                      and returns the migration diff)
+//	GET  /v1/diff         migration plan of the latest adoption
+//	GET  /v1/status       epochs, outcome, failure counters
+//	GET  /healthz         liveness
+//
+// With -state DIR the daemon journals its desired state and incumbent
+// durably: after a crash (even kill -9 mid-solve) it boots straight into the
+// last served allocation and resumes the interrupted re-optimization from
+// the solve journal. Without -state it is memory-only.
+//
+// A first SIGINT/SIGTERM drains the HTTP server and stops the solve loop; a
+// second one exits immediately with code 1.
+//
+// Exit codes:
+//
+//	0  graceful shutdown (signal, server closed)
+//	3  bootstrap found the workload infeasible — nothing to serve
+//	1  internal error, or a second signal forced an immediate exit
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"fragalloc"
+	"fragalloc/internal/mip"
+	"fragalloc/internal/service"
+	"fragalloc/internal/shutdown"
+)
+
+// Exit codes; see the package doc.
+const (
+	exitOK         = 0
+	exitInternal   = 1
+	exitInfeasible = 3
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload: tpcds or accounting")
+	in := flag.String("in", "", "workload JSON file (alternative to -workload)")
+	k := flag.Int("k", 4, "initial number of replica nodes K")
+	chunks := flag.String("chunks", "", "decomposition spec, e.g. 4+4 (default: exact)")
+	fixed := flag.Int("fixed", 0, "partial clustering: number of fixed queries F")
+	scenarios := flag.Int("scenarios", 1, "number of in-sample scenarios S (1 = deterministic)")
+	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
+	seed := flag.Int64("seed", 1, "scenario sampling seed")
+	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem")
+	solveTimeout := flag.Duration("solve-timeout", 0, "wall-clock bound per re-optimization attempt (0 = none)")
+	parallel := flag.Int("parallel", 0, "concurrent subproblem solves (0 = GOMAXPROCS, 1 = serial)")
+	state := flag.String("state", "", "durable state directory (empty = memory-only, no crash tolerance)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "minimum interval between mid-MIP checkpoints (default 30s)")
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	verbose := flag.Bool("v", false, "progress logging to stderr")
+	flag.Parse()
+
+	ctx, cancel := shutdown.Graceful("allocd", exitInternal)
+	defer cancel()
+
+	w, err := loadWorkload(*workload, *in)
+	if err != nil {
+		fail(err)
+	}
+	cfg := service.Config{
+		Workload:        w,
+		K:               *k,
+		FixedQueries:    *fixed,
+		Parallelism:     *parallel,
+		MIP:             mip.Options{TimeLimit: *budget, MaxStallNodes: 300},
+		SolveTimeout:    *solveTimeout,
+		StateDir:        *state,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *scenarios > 1 {
+		cfg.Scenarios = fragalloc.InSampleScenarios(w, *scenarios, *p, *seed)
+	}
+	if *chunks != "" {
+		spec, err := fragalloc.ParseChunks(*chunks)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Chunks = spec
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	cfg.Logf = logf
+	if !*verbose {
+		// Quiet mode still reports service-level transitions, just not
+		// solver progress: the service logs through cfg.Logf only.
+		cfg.Logf = func(format string, args ...any) {}
+	}
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	logf("allocd: bootstrapping the first incumbent (workload %d fragments, %d queries, K=%d)",
+		len(w.Fragments), len(w.Queries), *k)
+	if err := svc.Bootstrap(ctx); err != nil {
+		if errors.Is(err, fragalloc.ErrInfeasible) {
+			fmt.Fprintf(os.Stderr, "allocd: %v\n", err)
+			os.Exit(exitInfeasible)
+		}
+		fail(err)
+	}
+	go svc.Run(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "allocd: shutdown: %v\n", err)
+		}
+	}()
+	logf("allocd: serving on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	os.Exit(exitOK)
+}
+
+func loadWorkload(name, path string) (*fragalloc.Workload, error) {
+	switch {
+	case path != "":
+		return fragalloc.LoadWorkload(path)
+	case name == "tpcds":
+		return fragalloc.TPCDSWorkload(), nil
+	case name == "accounting":
+		return fragalloc.AccountingWorkload(), nil
+	}
+	return nil, fmt.Errorf("specify -workload tpcds|accounting or -in file.json")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "allocd: %v\n", err)
+	os.Exit(exitInternal)
+}

@@ -39,11 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"fragalloc/internal/experiments"
+	"fragalloc/internal/shutdown"
 )
 
 func main() {
@@ -74,17 +73,8 @@ func main() {
 	// are tagged in the table output) instead of losing the whole run. A
 	// second signal forces an immediate exit — the escape hatch when a long
 	// LP has not yet reached its cancellation poll.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := shutdown.Graceful("paper", 1)
 	defer cancel()
-	sigs := make(chan os.Signal, 2)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		cancel()
-		<-sigs
-		fmt.Fprintln(os.Stderr, "paper: second signal, exiting immediately")
-		os.Exit(1)
-	}()
 	if *timeout > 0 {
 		var timeoutCancel context.CancelFunc
 		ctx, timeoutCancel = context.WithTimeout(ctx, *timeout)

@@ -1,15 +1,22 @@
-// Command workloadgen emits the built-in workloads and scenario sets as
-// JSON, for use with cmd/allocate and cmd/evaluate or external tooling.
+// Command workloadgen emits the built-in workloads, scenario sets, and drift
+// streams as JSON, for use with cmd/allocate, cmd/evaluate, cmd/allocd, or
+// external tooling.
 //
 // Usage:
 //
 //	workloadgen -workload tpcds -o tpcds.json
 //	workloadgen -workload accounting -seed 9 -o accounting.json
 //	workloadgen -workload tpcds -scenarios 10 -p 0.75 -o seen.json
+//	workloadgen -workload tpcds -scenarios 5 -drift 20 -k 4 -o drift.json
 //
 // With -scenarios > 0 the tool writes a scenario set (the first scenario is
 // the deterministic f=1 baseline unless -no-baseline is set) instead of the
 // workload itself.
+//
+// With -drift N the tool instead writes a seeded stream of N drift updates
+// (frequency deltas, newly observed scenarios, node join/leave) against that
+// scenario set, in the JSON shape allocd's POST /v1/update ingests — replay
+// them in order to drive a reproducible drift experiment.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 
 	"fragalloc"
+	"fragalloc/internal/service"
 )
 
 func main() {
@@ -27,6 +35,14 @@ func main() {
 	scenarios := flag.Int("scenarios", 0, "emit a scenario set with this many scenarios instead of the workload")
 	p := flag.Float64("p", fragalloc.DefaultPresence, "query presence probability for random scenarios")
 	noBaseline := flag.Bool("no-baseline", false, "scenario sets: omit the deterministic f=1 baseline (out-of-sample style)")
+	drift := flag.Int("drift", 0, "emit a stream of this many drift updates for allocd instead of the workload")
+	deltas := flag.Int("drift-deltas", 3, "drift: frequency deltas per plain update")
+	maxDelta := flag.Float64("drift-max", 0.5, "drift: maximum magnitude of one frequency delta")
+	observeProb := flag.Float64("drift-observe", 0.2, "drift: probability an update observes a new scenario")
+	nodeProb := flag.Float64("drift-nodes", 0, "drift: probability an update resizes the cluster by ±1 node")
+	k := flag.Int("k", 0, "drift: starting node count for -drift-nodes random walks")
+	minK := flag.Int("min-k", 1, "drift: lower bound of the node-count walk")
+	maxK := flag.Int("max-k", 0, "drift: upper bound of the node-count walk (0 = none)")
 	flag.Parse()
 
 	var w *fragalloc.Workload
@@ -45,7 +61,29 @@ func main() {
 	}
 
 	var v any = w
-	if *scenarios > 0 {
+	switch {
+	case *drift > 0:
+		// The base scenario set determines which scenario indices the
+		// frequency deltas may hit; it matches what -scenarios alone would
+		// emit, so one seed describes both files of a drift experiment.
+		base := fragalloc.InSampleScenarios(w, max(*scenarios, 1), *p, sseed)
+		if *nodeProb > 0 && *k < 1 {
+			fmt.Fprintln(os.Stderr, "workloadgen: -drift-nodes needs -k (the starting node count)")
+			os.Exit(2)
+		}
+		v = service.GenerateDrift(w, base, service.DriftConfig{
+			Updates:         *drift,
+			Seed:            sseed,
+			DeltasPerUpdate: *deltas,
+			MaxDelta:        *maxDelta,
+			ObserveProb:     *observeProb,
+			Presence:        *p,
+			NodeProb:        *nodeProb,
+			StartK:          *k,
+			MinK:            *minK,
+			MaxK:            *maxK,
+		})
+	case *scenarios > 0:
 		if *noBaseline {
 			v = fragalloc.OutOfSampleScenarios(w, *scenarios, *p, sseed)
 		} else {

@@ -23,10 +23,17 @@ import (
 // to a variable whose .Canceled field is assigned elsewhere in the same
 // function (copy-then-patch, as core's mipOptions does). Positional
 // literals set every field and are never flagged.
+//
+// The allocation service widened the contract: a context.Context or
+// *http.Request parameter is a cancellation source too. An HTTP handler (or
+// any context-receiving function) that launches a solve with bare Options
+// detaches that solve from client disconnects and server shutdown, so such
+// functions are held to the same rule — derive Canceled from the context
+// (`func() bool { return ctx.Err() != nil }`) when building solver options.
 var CtxHook = &Analyzer{
 	Name: "ctxhook",
 	Doc: "flag solver Options literals that drop the Canceled cancellation " +
-		"hook inside functions that received one",
+		"hook inside functions that received one (or received a context)",
 	Run: runCtxHook,
 }
 
@@ -37,7 +44,9 @@ func runCtxHook(pass *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if !funcReceivesHook(pass, fn) {
+			hook := funcReceivesHook(pass, fn)
+			ctx := funcReceivesContext(pass, fn)
+			if !hook && !ctx {
 				continue
 			}
 			repaired := canceledAssignTargets(pass, fn.Body)
@@ -63,9 +72,15 @@ func runCtxHook(pass *Pass) {
 				if obj := assignedObject(pass, stack, lit); obj != nil && repaired[obj] {
 					return true
 				}
-				pass.Reportf(lit.Pos(), "%s literal drops the Canceled hook this function received; "+
-					"set Canceled (or patch it on the variable) so nested solves stay cancelable",
-					types.TypeString(deref(t), types.RelativeTo(pass.Pkg.Types)))
+				name := types.TypeString(deref(t), types.RelativeTo(pass.Pkg.Types))
+				if hook {
+					pass.Reportf(lit.Pos(), "%s literal drops the Canceled hook this function received; "+
+						"set Canceled (or patch it on the variable) so nested solves stay cancelable", name)
+				} else {
+					pass.Reportf(lit.Pos(), "%s literal ignores the context this function received; "+
+						"set Canceled from it (or patch it on the variable) so solves launched here "+
+						"stay cancelable on disconnect and shutdown", name)
+				}
 				return true
 			})
 		}
@@ -141,6 +156,49 @@ func funcReceivesHook(pass *Pass, fn *ast.FuncDecl) bool {
 				return true
 			}
 		}
+	}
+	return false
+}
+
+// funcReceivesContext reports whether fn's receiver or any parameter is a
+// context.Context or *net/http.Request — cancellation sources that make fn
+// responsible for wiring Canceled into any solver options it builds.
+func funcReceivesContext(pass *Pass, fn *ast.FuncDecl) bool {
+	var lists []*ast.FieldList
+	if fn.Recv != nil {
+		lists = append(lists, fn.Recv)
+	}
+	if fn.Type.Params != nil {
+		lists = append(lists, fn.Type.Params)
+	}
+	for _, fl := range lists {
+		for _, field := range fl.List {
+			if isContextSource(pass.Pkg.Info.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isContextSource reports whether t is context.Context or *net/http.Request.
+func isContextSource(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "context":
+		return obj.Name() == "Context"
+	case "net/http":
+		return obj.Name() == "Request"
 	}
 	return false
 }

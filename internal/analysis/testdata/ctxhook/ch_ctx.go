@@ -1,0 +1,60 @@
+package ch
+
+// Context-source cases: a context.Context or *http.Request parameter makes a
+// function responsible for wiring Canceled into solver options it builds,
+// exactly like a received hook (the allocation service's HTTP handlers are
+// the motivating layer).
+
+import (
+	"context"
+	"net/http"
+)
+
+// ctxDropsHook: receives a context but launches a solve with bare options —
+// the solve outlives client disconnects and server shutdown.
+func ctxDropsHook(ctx context.Context) int {
+	return solveLP(LPOptions{MaxIters: 10}) // want "LPOptions literal ignores the context this function received"
+}
+
+// ctxSetsHookOK derives the hook from the context: clean.
+func ctxSetsHookOK(ctx context.Context) int {
+	return solveLP(LPOptions{MaxIters: 10, Canceled: func() bool { return ctx.Err() != nil }})
+}
+
+// handlerDropsHook: the request carries the client's context; ignoring it
+// detaches the solve from disconnects.
+func handlerDropsHook(w http.ResponseWriter, r *http.Request) {
+	solveMIP(MIPOptions{Nodes: 5}) // want "MIPOptions literal ignores the context this function received"
+}
+
+// handlerSetsHookOK wires the request context through: clean.
+func handlerSetsHookOK(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	solveMIP(MIPOptions{Nodes: 5, Canceled: func() bool { return ctx.Err() != nil }})
+}
+
+// ctxPatchedLaterOK: copy-then-patch still counts as propagation.
+func ctxPatchedLaterOK(ctx context.Context) int {
+	lp := LPOptions{MaxIters: 10}
+	lp.Canceled = func() bool { return ctx.Err() != nil }
+	return solveLP(lp)
+}
+
+// hookBeatsCtx: when both a hook and a context arrive, the message blames
+// the dropped hook — the stronger contract.
+func hookBeatsCtx(ctx context.Context, opt MIPOptions) int {
+	return solveLP(LPOptions{MaxIters: 10}) // want "LPOptions literal drops the Canceled hook"
+}
+
+// ctxNestedUnderHookOK: the enclosing literal owns propagation.
+func ctxNestedUnderHookOK(ctx context.Context) int {
+	return solveMIP(MIPOptions{
+		LP:       LPOptions{MaxIters: 10},
+		Canceled: func() bool { return ctx.Err() != nil },
+	})
+}
+
+// noCtxNoHook: nothing to propagate; bare options are fine.
+func noCtxNoHook(n int) int {
+	return solveMIP(MIPOptions{Nodes: n})
+}

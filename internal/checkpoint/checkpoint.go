@@ -106,25 +106,24 @@ func (st *Store) generations() ([]uint64, error) {
 
 func genName(g uint64) string { return fmt.Sprintf("gen-%08d.ckpt", g) }
 
-// encode frames the snapshot payload with the versioned, checksummed header.
-func encode(snap *Snapshot) ([]byte, error) {
-	payload, err := json.Marshal(snap)
-	if err != nil {
-		return nil, fmt.Errorf("checkpoint: encoding snapshot: %w", err)
-	}
+// frame wraps an opaque payload with the versioned, checksummed header. The
+// framing is payload-agnostic: the Store durably persists whatever bytes it
+// is given, so solver snapshots and the allocation service's own state share
+// one write path and one corruption-recovery story.
+func frame(payload []byte) []byte {
 	buf := make([]byte, headerSize+len(payload))
 	copy(buf[0:8], magic)
 	binary.LittleEndian.PutUint32(buf[8:12], version)
 	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(payload))
 	copy(buf[headerSize:], payload)
-	return buf, nil
+	return buf
 }
 
-// decode verifies the header and CRC and unmarshals the payload. Any
-// mismatch — magic, version, length, checksum, or JSON — is an error, which
-// Load treats as "this generation is corrupt, fall back".
-func decode(data []byte) (*Snapshot, error) {
+// unframe verifies the header and CRC and returns the payload. Any mismatch
+// — magic, version, length, or checksum — is an error, which the loaders
+// treat as "this generation is corrupt, fall back".
+func unframe(data []byte) ([]byte, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("checkpoint: file truncated below header (%d bytes)", len(data))
 	}
@@ -142,6 +141,24 @@ func decode(data []byte) (*Snapshot, error) {
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[20:24]); got != want {
 		return nil, fmt.Errorf("checkpoint: payload CRC mismatch (got %08x, want %08x)", got, want)
 	}
+	return payload, nil
+}
+
+// encode frames the snapshot payload with the versioned, checksummed header.
+func encode(snap *Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding snapshot: %w", err)
+	}
+	return frame(payload), nil
+}
+
+// decode verifies the frame and unmarshals the Snapshot payload.
+func decode(data []byte) (*Snapshot, error) {
+	payload, err := unframe(data)
+	if err != nil {
+		return nil, err
+	}
 	snap := &Snapshot{}
 	if err := json.Unmarshal(payload, snap); err != nil {
 		return nil, fmt.Errorf("checkpoint: decoding payload: %w", err)
@@ -153,13 +170,26 @@ func decode(data []byte) (*Snapshot, error) {
 // rename → fsync-directory, then prunes generations beyond the newest two.
 // A crash at any point leaves the previous generations loadable.
 func (st *Store) Save(snap *Snapshot) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-
 	buf, err := encode(snap)
 	if err != nil {
 		return err
 	}
+	return st.saveFramed(buf)
+}
+
+// SaveRaw durably writes an opaque payload as the next generation, with the
+// same atomicity and retention guarantees as Save. The allocation service
+// journals its own state (desired scenarios, incumbent allocation) this way,
+// through the one sanctioned durable-write path.
+func (st *Store) SaveRaw(payload []byte) error {
+	return st.saveFramed(frame(payload))
+}
+
+// saveFramed writes one already-framed generation durably.
+func (st *Store) saveFramed(buf []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
 	gen := st.gen + 1
 	final := filepath.Join(st.dir, genName(gen))
 	tmp := final + ".tmp"
@@ -228,19 +258,54 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Load returns the newest generation that decodes and verifies, falling
-// back through older generations when the newest is torn or corrupt. It
-// returns (nil, nil) when the directory holds no generations at all, and an
-// error only when generations exist but none is loadable.
+// Load returns the newest generation that decodes and verifies as a
+// Snapshot, falling back through older generations when the newest is torn
+// or corrupt. It returns (nil, nil) when the directory holds no generations
+// at all, and an error only when generations exist but none is loadable.
 func (st *Store) Load() (*Snapshot, error) {
+	var snap *Snapshot
+	found, err := st.loadNewest(func(payload []byte) error {
+		s := &Snapshot{}
+		if err := json.Unmarshal(payload, s); err != nil {
+			return fmt.Errorf("checkpoint: decoding payload: %w", err)
+		}
+		snap = s
+		return nil
+	})
+	if err != nil || !found {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// LoadRaw returns the newest generation's opaque payload (the counterpart of
+// SaveRaw), with the same fallback semantics as Load: (nil, nil) on an empty
+// directory, an error only when generations exist but none verifies.
+func (st *Store) LoadRaw() ([]byte, error) {
+	var out []byte
+	found, err := st.loadNewest(func(payload []byte) error {
+		out = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil || !found {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadNewest walks the generations newest-first, handing each verified
+// payload to accept; a frame failure or an accept error means "corrupt, fall
+// back to the previous generation". It reports whether any generation was
+// accepted; (false, nil) means the directory holds none at all.
+func (st *Store) loadNewest(accept func(payload []byte) error) (bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	gens, err := st.generations()
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	if len(gens) == 0 {
-		return nil, nil
+		return false, nil
 	}
 	var errs []error
 	for i := len(gens) - 1; i >= 0; i-- {
@@ -250,12 +315,15 @@ func (st *Store) Load() (*Snapshot, error) {
 			errs = append(errs, fmt.Errorf("%s: %w", genName(gens[i]), err))
 			continue
 		}
-		snap, err := decode(data)
+		payload, err := unframe(data)
+		if err == nil {
+			err = accept(payload)
+		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", genName(gens[i]), err))
 			continue
 		}
-		return snap, nil
+		return true, nil
 	}
-	return nil, fmt.Errorf("checkpoint: no loadable generation in %s: %w", st.dir, errors.Join(errs...))
+	return false, fmt.Errorf("checkpoint: no loadable generation in %s: %w", st.dir, errors.Join(errs...))
 }

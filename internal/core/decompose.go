@@ -39,6 +39,16 @@ type Options struct {
 	// MIP passes budgets (time limit, node limit, gap) to each subproblem
 	// solve. A TimeLimit applies per subproblem.
 	MIP mip.Options
+	// Warm, when non-nil, seeds flat root solves with an incumbent
+	// allocation from a previous run: each flexible query's runnable-node
+	// set under Warm becomes one more starting placement, so re-optimizing
+	// a drifted instance begins from the previously served allocation
+	// instead of from scratch (the allocation service's incremental
+	// re-optimization path, DESIGN.md §3.11). Like every hint it is advisory
+	// — it never changes the model (runKey ignores it) and a worse proposal
+	// is simply not adopted. K may differ from Warm.K: only the overlapping
+	// node prefix seeds the start.
+	Warm *model.Allocation
 	// Canceled, when non-nil, is polled throughout the run — down to the
 	// individual simplex iterations of every subproblem solve. Once it
 	// returns true, in-flight subproblems wind down with their best
@@ -427,11 +437,18 @@ func (d *driver) solve(sp *subproblem, spec *ChunkSpec, leaf int, id string) err
 			return err
 		}
 	}
+	// An incumbent allocation from a previous run warm-starts the same flat
+	// root shape the greedy hint does. It is a cheap projection, not a
+	// solve, so it runs inline rather than on the worker pool.
+	var warmHint map[int][]bool
+	if len(spec.Children) == 0 && leaf == 0 && spec.Leaves == d.alloc.K && d.opt.Warm != nil {
+		warmHint = d.warmHint(sp, b)
+	}
 
 	d.logf("core: solving split %v (B=%d, %d flexible queries, %d fragments) for leaves %d..%d",
 		spec, b, len(sp.flexQ), countTrue(sp.activeFrag), leaf, leaf+spec.Leaves-1)
 	d.gate.acquire()
-	sol, err := d.solveWithPolicy(sp, spec, ck, hint, greedyHint, journalHint)
+	sol, err := d.solveWithPolicy(sp, spec, ck, hint, greedyHint, warmHint, journalHint)
 	d.gate.release()
 	if err != nil {
 		return err
@@ -507,6 +524,27 @@ func (d *driver) greedyHint(sp *subproblem, n int) map[int][]bool {
 		row := make([]bool, n)
 		for bb := 0; bb < n; bb++ {
 			row[bb] = alloc.CanRun(q, bb)
+		}
+		hint[j] = row
+	}
+	return hint
+}
+
+// warmHint converts Options.Warm — the incumbent allocation of a previous
+// solve — into a starting placement for a flat exact solve over all K nodes:
+// a query is proposed on every warm node that already stores all its
+// fragments. When the node counts differ (node join/leave), only the
+// overlapping prefix carries over; queries the warm allocation cannot place
+// anywhere simply contribute nothing to the proposal, which the proposal
+// repair inside the MIP tolerates like any other partial start.
+func (d *driver) warmHint(sp *subproblem, n int) map[int][]bool {
+	warm := d.opt.Warm
+	hint := make(map[int][]bool, len(sp.flexQ))
+	for _, j := range sp.flexQ {
+		q := &d.w.Queries[j]
+		row := make([]bool, n)
+		for bb := 0; bb < n && bb < warm.K; bb++ {
+			row[bb] = warm.CanRun(q, bb)
 		}
 		hint[j] = row
 	}

@@ -63,6 +63,13 @@ type Plan struct {
 	// so a resuming loader must reject it by CRC and fall back to the
 	// previous generation.
 	TornWriteAtCheckpoint int
+	// KillAt maps a named kill point to the 1-based hit count at which the
+	// process dies (panic(ErrKilled), or os.Exit(137) with KillExit). The
+	// allocation service plants At calls on its loop — after an ingested
+	// update is journaled, and between an adoption's journal save and its
+	// in-memory publish — so crash-restart tests can kill the daemon at
+	// every structural point of the control loop, not just inside saves.
+	KillAt map[string]int
 }
 
 // Injector implements simplex.FaultInjector plus a Canceled hook. Safe for
@@ -78,6 +85,7 @@ type Injector struct {
 	stalls    int
 	cancels   int
 	saves     int
+	hits      map[string]int
 }
 
 // New builds an Injector executing plan.
@@ -86,6 +94,7 @@ func New(plan Plan) *Injector {
 		plan:       plan,
 		refactorAt: make(map[int]bool, len(plan.RefactorFailures)),
 		stallAt:    make(map[int]bool, len(plan.Stalls)),
+		hits:       make(map[string]int),
 	}
 	for _, i := range plan.RefactorFailures {
 		in.refactorAt[i] = true
@@ -181,6 +190,39 @@ func (in *Injector) AfterSave() {
 		os.Exit(137)
 	}
 	panic(ErrKilled)
+}
+
+// At marks a named kill point reached. A nil Injector is a no-op, so
+// production code can plant At calls unconditionally; otherwise the hit is
+// counted and, if the plan maps the point to this hit count, the process
+// dies exactly like a checkpoint kill — os.Exit(137) with KillExit
+// (SIGKILL-equivalent, nothing winds down) or panic(ErrKilled).
+func (in *Injector) At(point string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.hits[point]++
+	kill := in.plan.KillAt[point] > 0 && in.hits[point] == in.plan.KillAt[point]
+	exit := in.plan.KillExit
+	in.mu.Unlock()
+	if !kill {
+		return
+	}
+	if exit {
+		os.Exit(137)
+	}
+	panic(ErrKilled)
+}
+
+// Hits reports how many times the named kill point has been reached.
+func (in *Injector) Hits(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[point]
 }
 
 // Saves reports how many checkpoint saves the injector has observed.

@@ -40,13 +40,17 @@ func Solve(cost [][]float64) (assign []int, total float64, err error) {
 	p := make([]int, n+1)     // p[col] = row assigned to col (0 = none)
 	way := make([]int, n+1)
 
+	// Scratch rows are hoisted out of the augmenting loop and reset per
+	// row: the allocation service runs a matching on every adoption, so n
+	// fewer allocations per call is worth the two extra loops.
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
 		for j := 0; j <= n; j++ {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true

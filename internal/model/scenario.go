@@ -28,6 +28,17 @@ func DefaultScenario(w *Workload) *ScenarioSet {
 // S returns the number of scenarios.
 func (ss *ScenarioSet) S() int { return len(ss.Frequencies) }
 
+// Clone returns a deep copy of the scenario set. The allocation service
+// mutates only clones, so a scenario set handed to a running solve is
+// immutable for the solve's whole lifetime.
+func (ss *ScenarioSet) Clone() *ScenarioSet {
+	c := &ScenarioSet{Frequencies: make([][]float64, len(ss.Frequencies))}
+	for s := range ss.Frequencies {
+		c.Frequencies[s] = append([]float64(nil), ss.Frequencies[s]...)
+	}
+	return c
+}
+
 // Validate checks that every scenario has exactly Q non-negative
 // frequencies and a positive total cost.
 func (ss *ScenarioSet) Validate(w *Workload) error {

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fragalloc/internal/model"
+)
+
+// diffWorkload is a tiny fixed workload whose fragment sizes make the golden
+// diffs below easy to verify by hand: fragment i has size 10(i+1).
+func diffWorkload(n int) *model.Workload {
+	w := &model.Workload{Name: "diff"}
+	for i := 0; i < n; i++ {
+		w.Fragments = append(w.Fragments, model.Fragment{ID: i, Size: float64(10 * (i + 1))})
+	}
+	// One query over all fragments keeps the workload valid; the diff only
+	// reads fragment sizes.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	w.Queries = append(w.Queries, model.Query{ID: 0, Fragments: all, Cost: 1, Frequency: 1})
+	return w
+}
+
+func alloc(fragments ...[]int) *model.Allocation {
+	a := model.NewAllocation(len(fragments))
+	for b, fr := range fragments {
+		a.Fragments[b] = append([]int(nil), fr...)
+	}
+	return a
+}
+
+// TestDiffNoOpDrift pins the no-op golden: identical allocations produce an
+// empty plan — every node maps to itself at cost zero.
+func TestDiffNoOpDrift(t *testing.T) {
+	w := diffWorkload(6)
+	a := alloc([]int{0, 1, 2}, []int{2, 3}, []int{4, 5})
+	d, err := ComputeDiff(w, a, a, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FromEpoch != 3 || d.ToEpoch != 4 {
+		t.Errorf("epochs = %d→%d, want 3→4", d.FromEpoch, d.ToEpoch)
+	}
+	if d.MigrationBytes != 0 {
+		t.Errorf("MigrationBytes = %v, want 0 for a no-op drift", d.MigrationBytes)
+	}
+	if len(d.Removed) != 0 {
+		t.Errorf("Removed = %v, want none", d.Removed)
+	}
+	for _, nd := range d.Nodes {
+		if len(nd.Copy) != 0 || len(nd.Drop) != 0 || nd.CopyBytes != 0 {
+			t.Errorf("node %d: copy=%v drop=%v bytes=%v, want all empty", nd.Node, nd.Copy, nd.Drop, nd.CopyBytes)
+		}
+	}
+}
+
+// TestDiffNodeRename pins the rename golden: when the new allocation is a
+// permutation of the old one's nodes, the Hungarian mapping finds the
+// permutation and the plan moves zero bytes.
+func TestDiffNodeRename(t *testing.T) {
+	w := diffWorkload(6)
+	old := alloc([]int{0, 1, 2}, []int{2, 3}, []int{4, 5})
+	next := alloc([]int{4, 5}, []int{0, 1, 2}, []int{2, 3})
+	d, err := ComputeDiff(w, old, next, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MigrationBytes != 0 {
+		t.Fatalf("MigrationBytes = %v, want 0 for a pure rename; diff %+v", d.MigrationBytes, d)
+	}
+	wantFrom := []int{2, 0, 1} // new node 0 inherits old node 2, etc.
+	for r, nd := range d.Nodes {
+		if nd.From != wantFrom[r] {
+			t.Errorf("node %d maps from %d, want %d", r, nd.From, wantFrom[r])
+		}
+	}
+}
+
+// TestDiffNodeRemoval pins the node-leave golden: a retired old node lands
+// in Removed, and the mapping is chosen by copy bytes, not node names — here
+// new node 0 ({0,1,4}) inherits old node 2 ({4,5}) and copies {0,1} for 30
+// bytes, cheaper than keeping old node 0 and copying fragment 4 for 50.
+func TestDiffNodeRemoval(t *testing.T) {
+	w := diffWorkload(6)
+	old := alloc([]int{0, 1}, []int{2, 3}, []int{4, 5})
+	next := alloc([]int{0, 1, 4}, []int{2, 3})
+	d, err := ComputeDiff(w, old, next, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Removed; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Removed = %v, want [0]", got)
+	}
+	if d.MigrationBytes != 30 {
+		t.Errorf("MigrationBytes = %v, want 30 (fragments 0 and 1)", d.MigrationBytes)
+	}
+	if got := d.Nodes[0]; got.From != 2 || !reflect.DeepEqual(got.Copy, []int{0, 1}) ||
+		!reflect.DeepEqual(got.Drop, []int{5}) || got.CopyBytes != 30 {
+		t.Errorf("node 0 plan = %+v, want From=2 Copy=[0 1] Drop=[5] (30 bytes)", got)
+	}
+	if got := d.Nodes[1]; got.From != 1 || len(got.Copy) != 0 || len(got.Drop) != 0 {
+		t.Errorf("node 1 plan = %+v, want untouched inherit of old node 1", got)
+	}
+}
+
+// TestDiffNodeJoin pins the node-join golden: a fresh node has From = -1 and
+// copies its whole content.
+func TestDiffNodeJoin(t *testing.T) {
+	w := diffWorkload(6)
+	old := alloc([]int{0, 1}, []int{2, 3})
+	next := alloc([]int{0, 1}, []int{2, 3}, []int{5})
+	d, err := ComputeDiff(w, old, next, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := d.Nodes[2]
+	if nd.From != -1 {
+		t.Fatalf("fresh node From = %d, want -1", nd.From)
+	}
+	if !reflect.DeepEqual(nd.Copy, []int{5}) || nd.CopyBytes != 60 {
+		t.Errorf("fresh node plan = %+v, want Copy=[5] (60 bytes)", nd)
+	}
+	if d.MigrationBytes != 60 {
+		t.Errorf("MigrationBytes = %v, want 60", d.MigrationBytes)
+	}
+}
+
+// TestDiffApplyRoundTrip is the property test: for random old/new allocation
+// pairs — including node joins and leaves — applying the computed diff to
+// the old placement reproduces the new placement exactly.
+func TestDiffApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := diffWorkload(20)
+	randAlloc := func(k int) *model.Allocation {
+		a := model.NewAllocation(k)
+		for b := 0; b < k; b++ {
+			for i := range w.Fragments {
+				if rng.Float64() < 0.3 {
+					a.Fragments[b] = append(a.Fragments[b], i)
+				}
+			}
+		}
+		return a
+	}
+	for trial := 0; trial < 200; trial++ {
+		oldK := 1 + rng.Intn(6)
+		newK := 1 + rng.Intn(6)
+		old := randAlloc(oldK)
+		next := randAlloc(newK)
+		d, err := ComputeDiff(w, old, next, uint64(trial), uint64(trial+1))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := ApplyDiff(old, d)
+		if got.K != next.K {
+			t.Fatalf("trial %d: ApplyDiff K = %d, want %d", trial, got.K, next.K)
+		}
+		for b := 0; b < next.K; b++ {
+			if !reflect.DeepEqual(norm(got.Fragments[b]), norm(next.Fragments[b])) {
+				t.Fatalf("trial %d node %d: ApplyDiff = %v, want %v (diff %+v)",
+					trial, b, got.Fragments[b], next.Fragments[b], d)
+			}
+		}
+		// The plan never copies a byte that is already in place: its cost
+		// is bounded by a full materialization of the new allocation.
+		var full float64
+		for b := 0; b < next.K; b++ {
+			full += next.NodeSize(w, b)
+		}
+		if d.MigrationBytes > full+1e-9 {
+			t.Fatalf("trial %d: MigrationBytes %v exceeds full copy %v", trial, d.MigrationBytes, full)
+		}
+	}
+}
+
+func norm(s []int) []int {
+	if len(s) == 0 {
+		return []int{}
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"fragalloc/internal/model"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /v1/allocation    the served incumbent, tagged with staleness
+//	POST /v1/update        ingest a drift update; ?wait=1 blocks for the
+//	                       re-optimization attempt and returns the diff
+//	GET  /v1/diff          migration plan of the latest adoption
+//	GET  /v1/status        full self-description
+//	GET  /healthz          liveness (200 once an incumbent is served)
+//
+// The allocation endpoint never fails once an incumbent exists: when
+// re-optimization is failing, it keeps serving the last good incumbent with
+// stale_updates > 0 and the rejection reason — graceful degradation as an
+// API contract.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// allocationResponse is the GET /v1/allocation body.
+type allocationResponse struct {
+	Epoch          uint64 `json:"epoch"`
+	IncumbentEpoch uint64 `json:"incumbent_epoch"`
+	// StaleUpdates counts accepted updates the allocation does not yet
+	// reflect; Age is how long the incumbent has been serving.
+	StaleUpdates uint64        `json:"stale_updates"`
+	Age          time.Duration `json:"age_ns"`
+	Outcome      string        `json:"outcome"`
+
+	W                 float64 `json:"w"`
+	V                 float64 `json:"v"`
+	ReplicationFactor float64 `json:"replication_factor"`
+	Exact             bool    `json:"exact"`
+
+	LastError  string            `json:"last_error,omitempty"`
+	Allocation *model.Allocation `json:"allocation"`
+}
+
+func (s *Service) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	inc, epoch := s.Incumbent()
+	if inc == nil {
+		http.Error(w, "no incumbent allocation yet", http.StatusServiceUnavailable)
+		return
+	}
+	st := s.Status()
+	resp := allocationResponse{
+		Epoch:          epoch,
+		IncumbentEpoch: inc.Epoch,
+		StaleUpdates:   epoch - inc.Epoch,
+		Outcome:        inc.Outcome,
+		W:              inc.W,
+		V:              inc.V,
+		Exact:          inc.Exact,
+		LastError:      st.LastError,
+		Allocation:     inc.Allocation,
+	}
+	if inc.V > 0 {
+		resp.ReplicationFactor = inc.W / inc.V
+	}
+	if !inc.AdoptedAt.IsZero() {
+		resp.Age = time.Since(inc.AdoptedAt)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// updateResponse is the POST /v1/update body. Without ?wait=1 only Epoch is
+// set (202 Accepted); with it, Adopted reports whether the re-optimization
+// attempt for this epoch succeeded, and Diff carries the migration plan when
+// it did.
+type updateResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	Adopted   bool   `json:"adopted,omitempty"`
+	Outcome   string `json:"outcome,omitempty"`
+	Diff      *Diff  `json:"diff,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var u Update
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		http.Error(w, "bad update: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	epoch, err := s.Apply(u)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		s.writeJSON(w, http.StatusAccepted, updateResponse{Epoch: epoch})
+		return
+	}
+	adopted, err := s.WaitEpoch(r.Context(), epoch)
+	if err != nil {
+		// The update is accepted and journaled; only the wait was cut
+		// short by the client going away.
+		http.Error(w, "wait canceled: "+err.Error(), http.StatusRequestTimeout)
+		return
+	}
+	resp := updateResponse{Epoch: epoch, Adopted: adopted}
+	st := s.Status()
+	resp.Outcome = st.Outcome
+	resp.LastError = st.LastError
+	if d := s.Diff(); adopted && d != nil && d.ToEpoch >= epoch {
+		resp.Diff = d
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleDiff(w http.ResponseWriter, r *http.Request) {
+	d := s.Diff()
+	if d == nil {
+		http.Error(w, "no re-optimization has completed yet", http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inc, _ := s.Incumbent()
+	if inc == nil {
+		http.Error(w, "bootstrapping", http.StatusServiceUnavailable)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf("service: writing response: %v", err)
+	}
+}

@@ -1,0 +1,655 @@
+// Package service is the allocation daemon's core: it holds the incumbent
+// allocation in memory, ingests workload-drift updates, and re-optimizes
+// incrementally — warm-starting the solver from the incumbent and emitting a
+// migration diff per adoption (DESIGN.md §3.11).
+//
+// Robustness is the architecture, not an afterthought:
+//
+//   - Single-flight re-optimization: updates coalesce into one desired epoch;
+//     at most one solve runs at a time and always targets the latest state.
+//   - Graceful degradation: a failed, timed-out, or degraded solve is
+//     rejected and the last good incumbent keeps serving, tagged with its
+//     staleness (epochs behind) and outcome; retries back off exponentially.
+//   - Durability: the incumbent and desired state are journaled through
+//     internal/checkpoint, so a crashed daemon boots straight into its last
+//     served state, and the in-flight solve's own journal lets the
+//     interrupted re-optimization resume instead of restarting.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fragalloc/internal/checkpoint"
+	"fragalloc/internal/core"
+	"fragalloc/internal/faultinject"
+	"fragalloc/internal/mip"
+	"fragalloc/internal/model"
+)
+
+// Named kill points of the service loop, planted for the crash-restart suite
+// via faultinject.Plan.KillAt (the solver's own kill points are
+// KillAtCheckpoint on the per-epoch solve journal).
+const (
+	// KillPointIngest fires after an ingested update is journaled but
+	// before the re-optimization loop is woken: the update must survive the
+	// crash and be solved after restart.
+	KillPointIngest = "service.ingest"
+	// KillPointPublish fires between journaling an adopted incumbent and
+	// publishing its diff: the restarted daemon must serve the new
+	// incumbent immediately.
+	KillPointPublish = "service.publish"
+)
+
+// Config parameterizes a Service. Workload and K are required; everything
+// else has serviceable defaults.
+type Config struct {
+	// Workload is the fixed fragment/query universe the daemon allocates.
+	// Drift changes frequencies and scenarios, never the universe — a new
+	// universe is a new daemon (the journal is digest-bound to it).
+	Workload *model.Workload
+	// Scenarios seeds the in-sample scenario set; nil means the
+	// deterministic single-scenario set.
+	Scenarios *model.ScenarioSet
+	// K is the initial number of replica nodes.
+	K int
+
+	// Solver knobs, passed through to core.Allocate.
+	Chunks       *core.ChunkSpec
+	FixedQueries int
+	Alpha        float64
+	Parallelism  int
+	MIP          mip.Options
+
+	// SolveTimeout bounds each re-optimization attempt (0 = none).
+	// BackoffBase and BackoffMax shape the exponential retry backoff after
+	// failed attempts (defaults 500ms and 30s).
+	SolveTimeout time.Duration
+	BackoffBase  time.Duration
+	BackoffMax   time.Duration
+
+	// StateDir is the durability root: StateDir/state journals the desired
+	// state + incumbent, StateDir/solve/ep-N journals the in-flight solve
+	// of epoch N. Empty means memory-only (no crash tolerance).
+	StateDir string
+	// CheckpointEvery is the minimum interval between mid-MIP checkpoints
+	// (0 = the checkpoint package's default).
+	CheckpointEvery time.Duration
+
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// Fault, when set, is installed on the per-epoch solve journals and
+	// consulted at the service-loop kill points (crash tests only).
+	Fault *faultinject.Injector
+}
+
+// Incumbent is the allocation the daemon currently serves, with the
+// provenance needed to judge it: which epoch it solved, how (the PR 3
+// Optimal/Feasible/Degraded ladder, collapsed to the worst outcome), and how
+// hard the solve worked.
+type Incumbent struct {
+	Allocation *model.Allocation `json:"allocation"`
+	// Epoch is the update epoch this allocation was solved against. The
+	// service's current epoch minus this is the staleness in updates.
+	Epoch   uint64 `json:"epoch"`
+	Outcome string `json:"outcome"`
+	W       float64
+	V       float64
+	Exact   bool
+	LPIters int
+	// SolveTime is the wall clock of the adopting solve; AdoptedAt is when
+	// it was published.
+	SolveTime time.Duration `json:"solve_time"`
+	AdoptedAt time.Time     `json:"adopted_at"`
+}
+
+// Service is the daemon core. Create with New, seed with Bootstrap, then run
+// the re-optimization loop with Run while serving reads/updates concurrently.
+type Service struct {
+	cfg  Config
+	st   *checkpoint.Store // state journal; nil when memory-only
+	wake chan struct{}     // kicks the Run loop; buffered, coalescing
+
+	// persistMu serializes state-journal writes so concurrent adoptions and
+	// ingests cannot interleave half-written generations. Lock order:
+	// persistMu before mu, never inverted.
+	persistMu sync.Mutex
+
+	mu           sync.Mutex
+	scen         *model.ScenarioSet // desired scenario set (current epoch)
+	k            int                // desired node count
+	epoch        uint64             // bumps on every accepted update
+	inc          *Incumbent         // last good incumbent; nil before bootstrap
+	lastDiff     *Diff              // migration plan of the latest adoption
+	lastErr      string             // why the latest attempt was rejected
+	attemptEpoch uint64             // highest epoch a finished attempt targeted
+	attemptDone  chan struct{}      // closed when an attempt finishes; then swapped
+	fails        int                // consecutive failed attempts
+	attempts     int                // total attempts
+	adoptions    int                // total adoptions
+}
+
+// persistedState is the state journal's payload: everything the daemon needs
+// to boot back into its last served state. The workload digest binds the
+// journal to its workload, mirroring the solver journal's runKey binding.
+type persistedState struct {
+	WorkloadDigest uint64             `json:"workload_digest"`
+	Epoch          uint64             `json:"epoch"`
+	K              int                `json:"k"`
+	Scenarios      *model.ScenarioSet `json:"scenarios"`
+	Incumbent      *model.Allocation  `json:"incumbent,omitempty"`
+	IncumbentEpoch uint64             `json:"incumbent_epoch"`
+	Outcome        string             `json:"outcome,omitempty"`
+	W              float64            `json:"w"`
+	V              float64            `json:"v"`
+	Exact          bool               `json:"exact"`
+}
+
+// New validates the config and restores the daemon's state from the journal
+// under StateDir, if any. A journal written for a different workload is an
+// error, not silently discarded — it means the operator pointed the daemon at
+// the wrong state directory.
+func New(cfg Config) (*Service, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("service: Config.Workload is required")
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, fmt.Errorf("service: workload: %w", err)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("service: K=%d, need at least one node", cfg.K)
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 500 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	scen := cfg.Scenarios
+	if scen == nil {
+		scen = model.DefaultScenario(cfg.Workload)
+	}
+	if err := scen.Validate(cfg.Workload); err != nil {
+		return nil, fmt.Errorf("service: scenarios: %w", err)
+	}
+	s := &Service{
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+		scen: scen.Clone(),
+		k:    cfg.K,
+	}
+	s.attemptDone = make(chan struct{})
+	if cfg.StateDir != "" {
+		st, err := checkpoint.Open(filepath.Join(cfg.StateDir, "state"))
+		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// restore adopts the newest good state-journal generation, if any.
+func (s *Service) restore() error {
+	payload, err := s.st.LoadRaw()
+	if err != nil {
+		return fmt.Errorf("service: state journal: %w", err)
+	}
+	if payload == nil {
+		return nil
+	}
+	var ps persistedState
+	if err := json.Unmarshal(payload, &ps); err != nil {
+		return fmt.Errorf("service: state journal: %w", err)
+	}
+	if got, want := ps.WorkloadDigest, s.cfg.Workload.Digest(); got != want {
+		return fmt.Errorf("service: state journal was written for workload digest %016x, this daemon runs %016x", got, want)
+	}
+	if ps.K < 1 || ps.Scenarios == nil {
+		return fmt.Errorf("service: state journal is incomplete (k=%d)", ps.K)
+	}
+	if err := ps.Scenarios.Validate(s.cfg.Workload); err != nil {
+		return fmt.Errorf("service: state journal scenarios: %w", err)
+	}
+	s.scen, s.k, s.epoch = ps.Scenarios, ps.K, ps.Epoch
+	if ps.Incumbent != nil {
+		if err := ps.Incumbent.Validate(s.cfg.Workload); err != nil {
+			return fmt.Errorf("service: state journal incumbent: %w", err)
+		}
+		s.inc = &Incumbent{
+			Allocation: ps.Incumbent,
+			Epoch:      ps.IncumbentEpoch,
+			Outcome:    ps.Outcome,
+			W:          ps.W,
+			V:          ps.V,
+			Exact:      ps.Exact,
+		}
+		s.logf("service: restored incumbent of epoch %d (desired epoch %d) from %s",
+			ps.IncumbentEpoch, ps.Epoch, s.cfg.StateDir)
+	}
+	return nil
+}
+
+// persist journals the daemon's current desired state and incumbent. It
+// always snapshots the latest state under mu, so even when adoptions and
+// ingests race, every written generation is internally consistent and the
+// journal is monotone.
+func (s *Service) persist() error {
+	if s.st == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.mu.Lock()
+	ps := persistedState{
+		WorkloadDigest: s.cfg.Workload.Digest(),
+		Epoch:          s.epoch,
+		K:              s.k,
+		Scenarios:      s.scen,
+	}
+	if s.inc != nil {
+		ps.Incumbent = s.inc.Allocation
+		ps.IncumbentEpoch = s.inc.Epoch
+		ps.Outcome = s.inc.Outcome
+		ps.W, ps.V, ps.Exact = s.inc.W, s.inc.V, s.inc.Exact
+	}
+	s.mu.Unlock()
+	payload, err := json.Marshal(&ps)
+	if err != nil {
+		return err
+	}
+	return s.st.SaveRaw(payload)
+}
+
+// Bootstrap computes and adopts the first incumbent if the journal did not
+// provide one. Unlike steady-state re-optimization, bootstrap adopts even a
+// degraded allocation — serving something feasible beats serving nothing —
+// but a hard solver error (including infeasibility) fails the boot.
+func (s *Service) Bootstrap(ctx context.Context) error {
+	s.mu.Lock()
+	have := s.inc != nil
+	s.mu.Unlock()
+	if have {
+		return nil
+	}
+	return s.reoptimize(ctx, true)
+}
+
+// Run is the single-flight re-optimization loop: wake on ingested updates,
+// solve toward the latest desired epoch, back off exponentially on failure.
+// It returns when ctx is canceled. Run must not be called concurrently with
+// itself.
+func (s *Service) Run(ctx context.Context) {
+	for {
+		s.mu.Lock()
+		pending := s.inc == nil || s.epoch > s.inc.Epoch
+		fails := s.fails
+		s.mu.Unlock()
+
+		if !pending {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.wake:
+			}
+			continue
+		}
+		if err := s.reoptimize(ctx, false); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Exponential backoff with the pre-attempt failure count + 1:
+			// 1×, 2×, 4×, ... of BackoffBase, clamped to BackoffMax. The
+			// wake channel is deliberately not selected here — a burst of
+			// updates must not defeat the backoff; the pending check above
+			// picks them up after the sleep.
+			shift := fails
+			if shift > 20 {
+				shift = 20
+			}
+			d := s.cfg.BackoffBase << shift
+			if d > s.cfg.BackoffMax || d <= 0 {
+				d = s.cfg.BackoffMax
+			}
+			s.logf("service: re-optimization failed (%v); retrying in %v", err, d)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// reoptimize runs one solve attempt against the latest desired state and
+// adopts the result if it is good enough. The incumbent is only ever
+// replaced, never partially mutated, so readers always see a complete
+// allocation.
+func (s *Service) reoptimize(ctx context.Context, boot bool) error {
+	s.mu.Lock()
+	epoch := s.epoch
+	k := s.k
+	scen := s.scen
+	var warm *model.Allocation
+	var fromEpoch uint64
+	if s.inc != nil {
+		warm = s.inc.Allocation
+		fromEpoch = s.inc.Epoch
+	}
+	s.attempts++
+	s.mu.Unlock()
+
+	sctx := ctx
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+
+	rec, cleanup, err := s.solveRecorder(epoch)
+	if err != nil {
+		s.finishAttempt(epoch, false, nil, err)
+		return err
+	}
+
+	opt := core.Options{
+		Alpha:        s.cfg.Alpha,
+		Chunks:       s.cfg.Chunks,
+		FixedQueries: s.cfg.FixedQueries,
+		Parallelism:  s.cfg.Parallelism,
+		MIP:          s.cfg.MIP,
+		Canceled:     func() bool { return sctx.Err() != nil },
+		Warm:         warm,
+		Checkpoint:   rec,
+		Logf:         s.cfg.Logf,
+	}
+	start := time.Now()
+	res, err := core.Allocate(s.cfg.Workload, scen, k, opt)
+	switch {
+	case err != nil:
+		s.finishAttempt(epoch, false, nil, err)
+		return err
+	case res.Canceled:
+		err = fmt.Errorf("service: solve for epoch %d timed out or was canceled", epoch)
+		s.finishAttempt(epoch, false, nil, err)
+		return err
+	case !boot && res.Outcomes.Degraded > 0:
+		// Steady state: a degraded allocation never displaces a good
+		// incumbent. Bootstrap is the exception — see Bootstrap.
+		err = fmt.Errorf("service: solve for epoch %d degraded %d subproblem(s); keeping the incumbent",
+			epoch, res.Outcomes.Degraded)
+		s.finishAttempt(epoch, false, nil, err)
+		return err
+	}
+
+	outcome := "optimal"
+	if res.Outcomes.Degraded > 0 {
+		outcome = "degraded"
+	} else if !res.Exact {
+		outcome = "feasible"
+	}
+	var diff *Diff
+	if warm != nil {
+		diff, err = ComputeDiff(s.cfg.Workload, warm, res.Allocation, fromEpoch, epoch)
+		if err != nil {
+			s.finishAttempt(epoch, false, nil, err)
+			return err
+		}
+	}
+	inc := &Incumbent{
+		Allocation: res.Allocation,
+		Epoch:      epoch,
+		Outcome:    outcome,
+		W:          res.W,
+		V:          res.V,
+		Exact:      res.Exact,
+		LPIters:    res.LPIters,
+		SolveTime:  res.SolveTime,
+		AdoptedAt:  time.Now(),
+	}
+
+	// Adoption order is the crash contract: (1) publish the incumbent in
+	// memory, (2) journal it, (3) hit the publish kill point, (4) publish
+	// the diff and release waiters. A crash between (2) and (4) restarts
+	// into the new incumbent with the diff lost — the diff is derivable,
+	// the incumbent is not.
+	s.mu.Lock()
+	s.inc = inc
+	s.adoptions++
+	s.mu.Unlock()
+	if err := s.persist(); err != nil {
+		s.logf("service: warning: journaling the adopted incumbent failed: %v", err)
+	}
+	s.cfg.Fault.At(KillPointPublish)
+	s.finishAttempt(epoch, true, diff, nil)
+	cleanup()
+	s.logf("service: adopted epoch %d (%s, W/V=%.4f, %v, warm=%v)",
+		epoch, outcome, res.ReplicationFactor, time.Since(start).Round(time.Millisecond), warm != nil)
+	return nil
+}
+
+// finishAttempt records an attempt's outcome and releases WaitEpoch waiters.
+// The done channel is closed outside the lock (and swapped for a fresh one
+// under it), so waiters never receive a close while s.mu is held.
+func (s *Service) finishAttempt(epoch uint64, adopted bool, diff *Diff, err error) {
+	s.mu.Lock()
+	if epoch > s.attemptEpoch {
+		s.attemptEpoch = epoch
+	}
+	if adopted {
+		s.fails = 0
+		s.lastErr = ""
+		if diff != nil {
+			s.lastDiff = diff
+		}
+	} else {
+		s.fails++
+		s.lastErr = err.Error()
+	}
+	done := s.attemptDone
+	s.attemptDone = make(chan struct{})
+	s.mu.Unlock()
+	close(done)
+}
+
+// solveRecorder opens the durable journal for the solve of the given epoch,
+// resuming a previous attempt's progress if the daemon crashed mid-solve.
+// The cleanup retires the journal after adoption. Memory-only daemons get no
+// recorder.
+func (s *Service) solveRecorder(epoch uint64) (*checkpoint.Recorder, func(), error) {
+	if s.cfg.StateDir == "" {
+		return nil, func() {}, nil
+	}
+	dir := filepath.Join(s.cfg.StateDir, "solve", fmt.Sprintf("ep-%d", epoch))
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.cfg.Fault != nil {
+		st.SetFault(s.cfg.Fault)
+	}
+	prev, err := st.Load()
+	if err != nil {
+		// A corrupt solve journal costs a fresh solve, never the daemon.
+		s.logf("service: warning: discarding unreadable solve journal %s: %v", dir, err)
+		prev = nil
+	}
+	if prev != nil {
+		s.logf("service: resuming interrupted solve of epoch %d from its journal", epoch)
+	}
+	rec := checkpoint.NewRecorder(st, prev, s.cfg.CheckpointEvery)
+	cleanup := func() {
+		if err := os.RemoveAll(filepath.Join(s.cfg.StateDir, "solve")); err != nil {
+			s.logf("service: warning: could not retire solve journals: %v", err)
+		}
+	}
+	return rec, cleanup, nil
+}
+
+// Apply ingests one drift update: validate against the current desired
+// state, bump the epoch, journal, and wake the re-optimization loop. It
+// returns the new epoch (pass it to WaitEpoch to await adoption). An invalid
+// update is rejected whole with no state change.
+func (s *Service) Apply(u Update) (uint64, error) {
+	s.mu.Lock()
+	scen, k, err := applyUpdate(s.cfg.Workload, s.scen, s.k, u)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	// A fixed decomposition spec covers exactly Chunks.Leaves nodes, so a
+	// resize away from it could never solve — reject at ingest rather than
+	// letting the loop retry an unsolvable epoch forever.
+	if k != s.k && s.cfg.Chunks != nil && s.cfg.Chunks.Leaves != k {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("service: set_k %d conflicts with the fixed chunk spec %q (%d nodes)", k, s.cfg.Chunks, s.cfg.Chunks.Leaves)
+	}
+	s.scen, s.k = scen, k
+	s.epoch++
+	epoch := s.epoch
+	s.mu.Unlock()
+
+	if err := s.persist(); err != nil {
+		s.logf("service: warning: journaling epoch %d failed: %v", epoch, err)
+	}
+	s.cfg.Fault.At(KillPointIngest)
+	s.kick()
+	return epoch, nil
+}
+
+// kick wakes the Run loop; a pending wake already covers us (coalescing).
+func (s *Service) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// WaitEpoch blocks until a re-optimization attempt has covered the given
+// epoch: true when the incumbent reached it, false when the attempt finished
+// without adoption (failed, timed out, or degraded — the incumbent is stale
+// but still serving).
+func (s *Service) WaitEpoch(ctx context.Context, epoch uint64) (bool, error) {
+	for {
+		s.mu.Lock()
+		if s.inc != nil && s.inc.Epoch >= epoch {
+			s.mu.Unlock()
+			return true, nil
+		}
+		if s.attemptEpoch >= epoch {
+			s.mu.Unlock()
+			return false, nil
+		}
+		done := s.attemptDone
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-done:
+		}
+	}
+}
+
+// Incumbent returns the currently served incumbent (nil before bootstrap)
+// and the current desired epoch. The staleness in updates is
+// epoch − inc.Epoch.
+func (s *Service) Incumbent() (*Incumbent, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc, s.epoch
+}
+
+// Diff returns the migration plan of the latest adoption, or nil if the
+// daemon has not re-optimized since boot.
+func (s *Service) Diff() *Diff {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastDiff
+}
+
+// Epoch returns the current desired epoch.
+func (s *Service) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Status is the daemon's self-description, served on /v1/status.
+type Status struct {
+	// Epoch is the desired state's epoch, IncumbentEpoch the epoch the
+	// served allocation solved; StaleUpdates is their difference.
+	Epoch          uint64 `json:"epoch"`
+	IncumbentEpoch uint64 `json:"incumbent_epoch"`
+	StaleUpdates   uint64 `json:"stale_updates"`
+	// Outcome is the incumbent solve's worst subproblem outcome:
+	// optimal, feasible, or degraded ("" before bootstrap).
+	Outcome   string    `json:"outcome,omitempty"`
+	AdoptedAt time.Time `json:"adopted_at"`
+
+	W                 float64 `json:"w"`
+	V                 float64 `json:"v"`
+	ReplicationFactor float64 `json:"replication_factor"`
+	Exact             bool    `json:"exact"`
+	LPIters           int     `json:"lp_iters"`
+
+	K         int `json:"k"`
+	Scenarios int `json:"scenarios"`
+
+	// LastError is why the latest attempt was rejected ("" when the
+	// incumbent is current); ConsecutiveFailures drives the backoff.
+	LastError           string `json:"last_error,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Attempts            int    `json:"attempts"`
+	Adoptions           int    `json:"adoptions"`
+}
+
+// Status snapshots the daemon's state.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Epoch:               s.epoch,
+		K:                   s.k,
+		Scenarios:           s.scen.S(),
+		LastError:           s.lastErr,
+		ConsecutiveFailures: s.fails,
+		Attempts:            s.attempts,
+		Adoptions:           s.adoptions,
+	}
+	if s.inc != nil {
+		st.IncumbentEpoch = s.inc.Epoch
+		st.StaleUpdates = s.epoch - s.inc.Epoch
+		st.Outcome = s.inc.Outcome
+		st.AdoptedAt = s.inc.AdoptedAt
+		st.W, st.V = s.inc.W, s.inc.V
+		if s.inc.V > 0 {
+			st.ReplicationFactor = s.inc.W / s.inc.V
+		}
+		st.Exact = s.inc.Exact
+		st.LPIters = s.inc.LPIters
+	}
+	return st
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ErrNoIncumbent is returned by handlers asked to serve before bootstrap.
+var ErrNoIncumbent = errors.New("service: no incumbent yet")

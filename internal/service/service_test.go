@@ -1,0 +1,490 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fragalloc/internal/core"
+	"fragalloc/internal/faultinject"
+	"fragalloc/internal/mip"
+	"fragalloc/internal/model"
+	"fragalloc/internal/scenario"
+	"fragalloc/internal/simplex"
+)
+
+// serviceWorkload builds the deterministic workload most service tests
+// solve. The shape (12 fragments, 8 queries, seed 18) is calibrated: exact
+// flat solves finish in well under a second, so lifecycle tests stay fast
+// even under -race.
+func serviceWorkload(t testing.TB) *model.Workload {
+	t.Helper()
+	return calibratedWorkload(18, 12, 8)
+}
+
+// calibratedWorkload mirrors core's randomWorkload generator; the service
+// tests pin (seed, n, q) triples whose solve behavior was measured.
+func calibratedWorkload(seed int64, n, q int) *model.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &model.Workload{Name: "svc"}
+	for i := 0; i < n; i++ {
+		w.Fragments = append(w.Fragments, model.Fragment{ID: i, Size: 1 + rng.Float64()*99})
+	}
+	for j := 0; j < q; j++ {
+		nf := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		var fr []int
+		for len(fr) < nf {
+			i := rng.Intn(n)
+			if !seen[i] {
+				seen[i] = true
+				fr = append(fr, i)
+			}
+		}
+		w.Queries = append(w.Queries, model.Query{ID: j, Fragments: fr, Cost: 0.1 + rng.Float64()*10, Frequency: 1})
+	}
+	w.NormalizeQueryFragments()
+	return w
+}
+
+// serviceConfig is the shared deterministic config; tests override fields.
+func serviceConfig(t testing.TB) Config {
+	return Config{
+		Workload:    serviceWorkload(t),
+		K:           3,
+		Parallelism: 1,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+}
+
+// driftUpdate is the fixed drift the lifecycle tests apply.
+func driftUpdate() Update {
+	return Update{FreqDeltas: []FreqDelta{
+		{Scenario: 0, Query: 2, Delta: 0.8},
+		{Scenario: 0, Query: 5, Delta: -0.4},
+	}}
+}
+
+// TestServiceLifecycle walks the happy path: bootstrap, one drift update,
+// adoption with a diff whose application reproduces the new incumbent.
+func TestServiceLifecycle(t *testing.T) {
+	s, err := New(serviceConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := s.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	boot, _ := s.Incumbent()
+	if boot == nil || boot.Epoch != 0 {
+		t.Fatalf("bootstrap incumbent = %+v, want epoch 0", boot)
+	}
+	if err := boot.Allocation.Validate(s.cfg.Workload); err != nil {
+		t.Fatalf("bootstrap allocation invalid: %v", err)
+	}
+	go s.Run(ctx)
+
+	epoch, err := s.Apply(driftUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("Apply returned epoch %d, want 1", epoch)
+	}
+	adopted, err := s.WaitEpoch(ctx, epoch)
+	if err != nil || !adopted {
+		t.Fatalf("WaitEpoch = (%v, %v), want adoption", adopted, err)
+	}
+	inc, cur := s.Incumbent()
+	if inc.Epoch != 1 || cur != 1 {
+		t.Fatalf("incumbent epoch %d at desired epoch %d, want 1/1", inc.Epoch, cur)
+	}
+	d := s.Diff()
+	if d == nil || d.FromEpoch != 0 || d.ToEpoch != 1 {
+		t.Fatalf("diff = %+v, want a 0→1 plan", d)
+	}
+	if got := ApplyDiff(boot.Allocation, d); !reflect.DeepEqual(got.Fragments, inc.Allocation.Fragments) {
+		t.Fatal("applying the published diff to the old incumbent does not reproduce the new placement")
+	}
+	st := s.Status()
+	if st.StaleUpdates != 0 || st.Adoptions != 2 || st.LastError != "" {
+		t.Errorf("status = %+v, want fresh incumbent after 2 adoptions", st)
+	}
+}
+
+// TestServiceCoalescing pins single-flight update coalescing: a burst of
+// updates applied before the loop starts is absorbed by ONE re-optimization
+// targeting the latest epoch.
+func TestServiceCoalescing(t *testing.T) {
+	s, err := New(serviceConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := s.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 10
+	for i := 0; i < burst; i++ {
+		if _, err := s.Apply(driftUpdate()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go s.Run(ctx)
+	adopted, err := s.WaitEpoch(ctx, burst)
+	if err != nil || !adopted {
+		t.Fatalf("WaitEpoch = (%v, %v), want adoption of epoch %d", adopted, err, burst)
+	}
+	st := s.Status()
+	if st.Attempts != 2 || st.Adoptions != 2 {
+		t.Errorf("attempts=%d adoptions=%d after bootstrap + %d-update burst, want 2/2 (coalesced)",
+			st.Attempts, st.Adoptions, burst)
+	}
+}
+
+// switchFault delegates to an always-failing injector only while enabled —
+// the lever the degradation test flips to break and then heal the solver.
+type switchFault struct {
+	on    atomic.Bool
+	inner simplex.FaultInjector
+}
+
+func (f *switchFault) FailRefactor() bool { return f.on.Load() && f.inner.FailRefactor() }
+func (f *switchFault) ForceStall() bool   { return f.on.Load() && f.inner.ForceStall() }
+
+// TestServiceDegradedServesIncumbent is the graceful-degradation contract:
+// while every solve fails, the service keeps serving the last good incumbent
+// tagged with its staleness, and recovers on its own once solves heal.
+func TestServiceDegradedServesIncumbent(t *testing.T) {
+	fault := &switchFault{inner: faultinject.Always()}
+	cfg := serviceConfig(t)
+	cfg.MIP = mip.Options{LP: simplex.Options{RefactorEvery: 1, Fault: fault}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := s.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	boot, _ := s.Incumbent()
+	go s.Run(ctx)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	fault.on.Store(true)
+	epoch, err := s.Apply(driftUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := s.WaitEpoch(ctx, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted {
+		t.Fatal("a fully faulted solve was adopted")
+	}
+
+	// The serve endpoint never errors: it returns the stale incumbent,
+	// tagged, for as long as re-optimization keeps failing.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/v1/allocation")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body allocationResponse
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/allocation = %d while degraded, want 200", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if body.StaleUpdates < 1 || body.IncumbentEpoch != boot.Epoch {
+			t.Fatalf("degraded response = %+v, want the epoch-%d incumbent tagged stale", body, boot.Epoch)
+		}
+		if body.LastError == "" {
+			t.Error("degraded response carries no last_error")
+		}
+		if !reflect.DeepEqual(body.Allocation.Fragments, boot.Allocation.Fragments) {
+			t.Fatal("degraded response serves something other than the incumbent")
+		}
+	}
+	if st := s.Status(); st.ConsecutiveFailures < 1 {
+		t.Errorf("status = %+v, want failures recorded", st)
+	}
+
+	// Heal the solver; the backoff loop must adopt without outside help.
+	fault.on.Store(false)
+	deadline := time.Now().Add(300 * time.Second)
+	for {
+		if st := s.Status(); st.IncumbentEpoch >= epoch {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not recover after faults cleared: %+v", s.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := s.Status(); st.LastError != "" || st.StaleUpdates != 0 {
+		t.Errorf("post-recovery status = %+v, want clean", st)
+	}
+}
+
+// TestServiceWarmStartFewerLPIters pins the point of warm-starting: on the
+// same drifted instance, re-optimizing from the incumbent does measurably
+// less simplex work than solving cold. The instance (3-scenario workload,
+// seed 30, one small frequency delta) is calibrated and the solver is
+// deterministic at Parallelism 1, so the iteration counts — 107812 cold vs
+// 93132 warm at calibration time — reproduce exactly; the test only asserts
+// the inequality with a real margin so solver improvements don't break it.
+func TestServiceWarmStartFewerLPIters(t *testing.T) {
+	w := calibratedWorkload(30, 14, 10)
+	ss := scenario.InSample(w, 3, 0.75, 30)
+	base, err := core.Allocate(w, ss, 3, core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, _, err := applyUpdate(w, ss, 3, Update{FreqDeltas: []FreqDelta{{Scenario: 1, Query: 2, Delta: 0.3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.Allocate(w, drifted, 3, core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := core.Allocate(w, drifted, 3, core.Options{Parallelism: 1, Warm: base.Allocation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ReplicationFactor > cold.ReplicationFactor+1e-9 {
+		t.Errorf("warm W/V %.6f worse than cold %.6f", warm.ReplicationFactor, cold.ReplicationFactor)
+	}
+	if warm.LPIters >= cold.LPIters {
+		t.Errorf("warm start did not reduce simplex work: warm LPIters=%d, cold=%d", warm.LPIters, cold.LPIters)
+	}
+	t.Logf("cold LPIters=%d, warm LPIters=%d (%.1f%%)", cold.LPIters, warm.LPIters,
+		100*float64(warm.LPIters)/float64(cold.LPIters))
+}
+
+// TestServiceHTTPEndpoints exercises the full endpoint table over a live
+// httptest server.
+func TestServiceHTTPEndpoints(t *testing.T) {
+	s, err := New(serviceConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Before bootstrap: allocation and healthz are 503, status still works.
+	for _, path := range []string{"/v1/allocation", "/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s pre-bootstrap = %d, want 503", path, resp.StatusCode)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := s.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run(ctx)
+
+	get := func(path string, want int, into any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var ar allocationResponse
+	get("/v1/allocation", http.StatusOK, &ar)
+	if ar.Allocation == nil || ar.Outcome == "" {
+		t.Fatalf("allocation response = %+v, want an allocation with outcome", ar)
+	}
+	get("/healthz", http.StatusOK, nil)
+	get("/v1/diff", http.StatusNotFound, nil) // no re-optimization yet
+
+	// Malformed and invalid updates are 400.
+	for _, body := range []string{"{not json", `{"freq_deltas":[{"scenario":99,"query":0,"delta":1}]}`} {
+		resp, err := http.Post(srv.URL+"/v1/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST bad update %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Async ingest: 202 with the new epoch.
+	resp, err := http.Post(srv.URL+"/v1/update", "application/json",
+		strings.NewReader(`{"freq_deltas":[{"scenario":0,"query":2,"delta":0.8}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur updateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || ur.Epoch != 1 {
+		t.Fatalf("POST /v1/update = %d %+v, want 202 epoch 1", resp.StatusCode, ur)
+	}
+
+	// Blocking ingest: 200 with adoption flag and migration diff.
+	resp, err = http.Post(srv.URL+"/v1/update?wait=1", "application/json",
+		strings.NewReader(`{"set_k":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur = updateResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !ur.Adopted || ur.Epoch != 2 {
+		t.Fatalf("POST /v1/update?wait=1 = %d %+v, want 200 adopted epoch 2", resp.StatusCode, ur)
+	}
+	if ur.Diff == nil || ur.Diff.ToEpoch != 2 || len(ur.Diff.Nodes) != 4 {
+		t.Fatalf("wait response diff = %+v, want a 4-node plan for epoch 2", ur.Diff)
+	}
+
+	var st Status
+	get("/v1/status", http.StatusOK, &st)
+	if st.Epoch != 2 || st.IncumbentEpoch != 2 || st.K != 4 {
+		t.Errorf("status = %+v, want epoch 2 at K=4", st)
+	}
+	var d Diff
+	get("/v1/diff", http.StatusOK, &d)
+	if d.ToEpoch != 2 {
+		t.Errorf("GET /v1/diff ToEpoch = %d, want 2", d.ToEpoch)
+	}
+}
+
+// TestServiceJournalRestore pins clean-restart durability: a fresh Service
+// on the same state directory boots into the last served incumbent without
+// solving, and rejects a journal written for a different workload.
+func TestServiceJournalRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serviceConfig(t)
+	cfg.StateDir = dir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := s.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run(ctx)
+	epoch, err := s.Apply(driftUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.WaitEpoch(ctx, epoch); !ok || err != nil {
+		t.Fatalf("WaitEpoch = (%v, %v)", ok, err)
+	}
+	want, _ := s.Incumbent()
+	cancel()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cur := s2.Incumbent()
+	if got == nil || cur != epoch || got.Epoch != epoch {
+		t.Fatalf("restored incumbent epoch = %+v at desired %d, want %d", got, cur, epoch)
+	}
+	if !reflect.DeepEqual(got.Allocation.Fragments, want.Allocation.Fragments) ||
+		!reflect.DeepEqual(got.Allocation.Shares, want.Allocation.Shares) {
+		t.Fatal("restored incumbent differs from the served one")
+	}
+	if err := s2.Bootstrap(context.Background()); err != nil {
+		t.Fatalf("Bootstrap on a restored service must be a no-op, got %v", err)
+	}
+	if st := s2.Status(); st.Attempts != 0 {
+		t.Errorf("restored service solved %d times before any update", st.Attempts)
+	}
+
+	// A different workload must refuse the journal outright.
+	other := serviceConfig(t)
+	other.StateDir = dir
+	other.Workload.Fragments[0].Size += 1
+	if _, err := New(other); err == nil {
+		t.Fatal("New accepted a state journal written for a different workload")
+	}
+}
+
+// TestServiceSetKChunkConflict pins the ingest-time guard: with a fixed
+// decomposition spec, a set_k away from the spec's node count could never
+// solve, so the update must be rejected whole — not accepted into an epoch
+// the loop would retry forever.
+func TestServiceSetKChunkConflict(t *testing.T) {
+	cfg := serviceConfig(t)
+	spec, err := core.ParseChunks("2+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chunks = spec
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	if err := s.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(Update{SetK: 5}); err == nil {
+		t.Fatal("Apply accepted set_k 5 against a fixed 3-node chunk spec")
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("rejected update bumped the epoch to %d", got)
+	}
+	// A resize matching the spec's coverage is a no-op resize and stays fine.
+	if _, err := s.Apply(Update{SetK: 3, FreqDeltas: []FreqDelta{{Scenario: 0, Query: 1, Delta: 0.2}}}); err != nil {
+		t.Fatalf("Apply rejected a spec-compatible update: %v", err)
+	}
+}
