@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race fault crash serve bench benchcompile bench-mip bench-paper
+.PHONY: check fmt-check vet fragvet build test race fault crash serve eval bench benchcompile bench-mip bench-eval bench-paper
 
-check: fmt-check vet fragvet build benchcompile fault crash serve race
+check: fmt-check vet fragvet build benchcompile fault crash serve eval race
 	@echo "make check: all stages passed"
 
 fmt-check:
@@ -78,6 +78,17 @@ serve:
 		./internal/service ./internal/shutdown || exit $$?; \
 	echo "serve: $$(( $$(date +%s) - t0 ))s"
 
+# Scenario scale-out suite (DESIGN.md §3.12): k-medoids reduction
+# invariants, the reduced-vs-full solve cross-check, the streaming
+# evaluator's bit-identity across parallelism levels, the parametric
+# Newton search against the reference bisection and the routing LP — under
+# the race detector because the streaming driver shares an atomic work
+# counter across its pool.
+eval:
+	@t0=$$(date +%s); $(GO) test -race -timeout 900s -run 'Reduce|Stream|Evaluator|Newton|Nearest|Flow|WorstLoad|Weight' \
+		./internal/scenario ./internal/eval ./internal/maxflow ./internal/model || exit $$?; \
+	echo "eval: $$(( $$(date +%s) - t0 ))s"
+
 # Bench-rot guard: run every benchmark in the repo exactly once so a
 # benchmark that no longer compiles or crashes fails `make check`. -short
 # skips the dense-baseline kernel variants that take minutes by design.
@@ -100,6 +111,14 @@ bench:
 bench-mip:
 	$(GO) test -run NONE -bench BenchmarkMIPSearch -benchmem ./internal/core \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_mip.json
+
+# Streaming-evaluator benchmarks (mode=naive rebuild-and-bisect baseline
+# vs mode=cached graph-reuse + parametric search vs mode=par worker pool),
+# recorded as BENCH_scenario.json with derived speedup_vs_naive ratios
+# (cmd/benchjson). Also exercised once by the `benchcompile` rot guard.
+bench-eval:
+	$(GO) test -run NONE -bench BenchmarkEvalStream -benchmem -timeout 1800s ./internal/eval \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_scenario.json
 
 # Paper-scale table/figure benchmarks (the pre-existing root suite).
 bench-paper:

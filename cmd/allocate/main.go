@@ -77,6 +77,9 @@ func main() {
 	scenarios := flag.Int("scenarios", 1, "number of in-sample scenarios S (1 = deterministic)")
 	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
+	reduce := flag.Int("reduce", 0, "cluster the scenario set down to R weighted representatives before solving (0 = off)")
+	reduceMetric := flag.String("reduce-metric", "l1", "clustering distance for -reduce: l1 or l2")
+	reduceSeed := flag.Int64("reduce-seed", 1, "k-medoids initialization seed for -reduce")
 	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem (lp)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock limit; on expiry lp emits its best partial allocation (0 = none)")
 	parallel := flag.Int("parallel", 0, "concurrent subproblem solves for lp (0 = GOMAXPROCS, 1 = serial)")
@@ -108,6 +111,29 @@ func main() {
 	var ss *fragalloc.ScenarioSet
 	if *scenarios > 1 {
 		ss = fragalloc.InSampleScenarios(w, *scenarios, *p, *seed)
+	}
+	if *reduce > 0 {
+		if ss == nil {
+			fail(fmt.Errorf("-reduce needs -scenarios > 1 (nothing to cluster)"))
+		}
+		var metric fragalloc.ReduceMetric
+		switch *reduceMetric {
+		case "l1":
+			metric = fragalloc.ReduceL1
+		case "l2":
+			metric = fragalloc.ReduceL2
+		default:
+			fail(fmt.Errorf("unknown -reduce-metric %q (want l1 or l2)", *reduceMetric))
+		}
+		red, err := fragalloc.ReduceScenarios(w, ss, fragalloc.ReduceConfig{
+			R: *reduce, Metric: metric, Seed: *reduceSeed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "allocate: reduced %d scenarios to %d weighted representatives (max deviation bound %.4f)\n",
+			ss.S(), red.R(), red.MaxRadius())
+		ss = red.Reduced
 	}
 
 	if *exportLP != "" {

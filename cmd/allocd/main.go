@@ -7,6 +7,14 @@
 //
 //	allocd -workload tpcds -k 4 -state /var/lib/allocd -addr :8080
 //	allocd -in workload.json -k 8 -chunks 4+4 -scenarios 10 -addr 127.0.0.1:8080
+//	allocd -workload tpcds -k 4 -scenarios 200 -reduce 8 -addr :8080
+//
+// With -reduce R the daemon clusters its scenario set into R weighted
+// representatives and solves over those: observed scenarios fold into their
+// nearest cluster between solves, and a full re-clustering runs only when
+// the accumulated drift trips -recluster-threshold (DESIGN.md §3.12). The
+// /v1/status response reports the reduction's size, deviation bound, drift,
+// and re-clustering count.
 //
 // Endpoints:
 //
@@ -64,6 +72,9 @@ func main() {
 	scenarios := flag.Int("scenarios", 1, "number of in-sample scenarios S (1 = deterministic)")
 	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
 	seed := flag.Int64("seed", 1, "scenario sampling seed")
+	reduce := flag.Int("reduce", 0, "solve over this many clustered scenario representatives instead of the full set (0 = off)")
+	reclusterAt := flag.Float64("recluster-threshold", 0, "re-cluster once folded drift exceeds this fraction of the clustered set size (0 = default 0.25)")
+	reduceSeed := flag.Int64("reduce-seed", 1, "k-medoids initialization seed for -reduce")
 	budget := flag.Duration("budget", 30*time.Second, "MIP time budget per subproblem")
 	solveTimeout := flag.Duration("solve-timeout", 0, "wall-clock bound per re-optimization attempt (0 = none)")
 	parallel := flag.Int("parallel", 0, "concurrent subproblem solves (0 = GOMAXPROCS, 1 = serial)")
@@ -89,6 +100,10 @@ func main() {
 		SolveTimeout:    *solveTimeout,
 		StateDir:        *state,
 		CheckpointEvery: *ckptEvery,
+
+		ReduceTo:           *reduce,
+		ReclusterThreshold: *reclusterAt,
+		ReduceSeed:         *reduceSeed,
 	}
 	if *scenarios > 1 {
 		cfg.Scenarios = fragalloc.InSampleScenarios(w, *scenarios, *p, *seed)

@@ -57,6 +57,19 @@ type FeatureDerived struct {
 	LPItersRatio float64 `json:"lpiters_ratio_off_vs_on,omitempty"`
 }
 
+// EvalDerived compares one mode=<x> variant of a benchmark against its
+// mode=naive baseline: ratios >1 mean the variant is faster, resp. leaner.
+// `make bench-eval` uses it to certify the streaming evaluator's speedup
+// over the per-scenario rebuild-and-bisect path.
+type EvalDerived struct {
+	Benchmark string `json:"benchmark"`
+	Mode      string `json:"mode"`
+	// Speedup is naive ns/op divided by this mode's ns/op.
+	Speedup float64 `json:"speedup_vs_naive"`
+	// AllocsRatio is naive allocs/op divided by this mode's allocs/op.
+	AllocsRatio float64 `json:"allocs_ratio_naive_vs_mode,omitempty"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	CPU        string           `json:"cpu,omitempty"`
@@ -66,6 +79,7 @@ type Report struct {
 	Benchmarks []Benchmark      `json:"benchmarks"`
 	Derived    []Derived        `json:"derived,omitempty"`
 	Features   []FeatureDerived `json:"feature_derived,omitempty"`
+	Eval       []EvalDerived    `json:"eval_derived,omitempty"`
 }
 
 func main() {
@@ -121,6 +135,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	}
 	rep.Derived = derive(rep.Benchmarks)
 	rep.Features = deriveFeatures(rep.Benchmarks)
+	rep.Eval = deriveEval(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -257,6 +272,55 @@ func deriveFeatures(bs []Benchmark) []FeatureDerived {
 			d.LPItersRatio = round2(off / on)
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// deriveEval pairs every */mode=<x> result against its */mode=naive
+// baseline.
+func deriveEval(bs []Benchmark) []EvalDerived {
+	type variant struct {
+		mode string
+		b    *Benchmark
+	}
+	naives := map[string]*Benchmark{}
+	others := map[string][]variant{}
+	for i := range bs {
+		b := &bs[i]
+		mi := strings.Index(b.Name, "mode=")
+		if mi < 0 {
+			continue
+		}
+		mode := b.Name[mi+len("mode="):]
+		if cut := strings.IndexByte(mode, '/'); cut >= 0 {
+			mode = mode[:cut]
+		}
+		base := strings.ReplaceAll(b.Name, "/mode="+mode, "")
+		if mode == "naive" {
+			naives[base] = b
+		} else {
+			others[base] = append(others[base], variant{mode, b})
+		}
+	}
+	var names []string
+	for name := range others {
+		if naives[name] != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []EvalDerived
+	for _, name := range names {
+		naive := naives[name]
+		vs := others[name]
+		sort.Slice(vs, func(i, j int) bool { return vs[i].mode < vs[j].mode })
+		for _, v := range vs {
+			d := EvalDerived{Benchmark: name, Mode: v.mode, Speedup: round2(naive.NsPerOp / v.b.NsPerOp)}
+			if naive.AllocsPerOp > 0 && v.b.AllocsPerOp > 0 {
+				d.AllocsRatio = round2(float64(naive.AllocsPerOp) / float64(v.b.AllocsPerOp))
+			}
+			out = append(out, d)
+		}
 	}
 	return out
 }

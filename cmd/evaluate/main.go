@@ -27,6 +27,7 @@ func main() {
 	p := flag.Float64("p", fragalloc.DefaultPresence, "scenario presence probability")
 	seed := flag.Int64("seed", 2, "scenario sampling seed")
 	perScenario := flag.Bool("per-scenario", false, "print L~ for every scenario")
+	parallel := flag.Int("parallel", 0, "evaluation worker pool width (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
 
 	if *allocPath == "" {
@@ -57,7 +58,7 @@ func main() {
 		ss = fragalloc.InSampleScenarios(w, 1, *p, *seed) // f = 1 baseline
 	}
 
-	m, err := fragalloc.Evaluate(w, alloc, ss)
+	m, err := fragalloc.EvaluateStream(w, alloc, ss, fragalloc.StreamOptions{Parallelism: *parallel})
 	if err != nil {
 		fail(err)
 	}

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	paper [flags] fig1|table1|table2|table3|fig2|all
+//	paper [flags] fig1|table1|table2|table3|fig2|scale|all
 //
 // Flags:
 //
-//	-workload tpcds|accounting   workload (default tpcds; fig2 is TPC-DS only)
+//	-workload tpcds|accounting   workload (default tpcds; fig2 and scale are
+//	                             TPC-DS only)
 //	-full                        paper-scale row sets (slow) instead of the
 //	                             reduced laptop defaults
 //	-budget 15s                  MIP time budget per subproblem
@@ -59,7 +60,7 @@ func main() {
 	perScenario := flag.Bool("per-scenario", false, "fig2: print the per-scenario series (Figure 2b)")
 	verbose := flag.Bool("v", false, "verbose solver progress")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paper [flags] fig1|table1|table2|table3|fig2|all\n")
+		fmt.Fprintf(os.Stderr, "usage: paper [flags] fig1|table1|table2|table3|fig2|scale|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -112,6 +113,8 @@ func main() {
 		err = experiments.Table3(cfg)
 	case "fig2":
 		err = experiments.Fig2(cfg, *perScenario)
+	case "scale":
+		err = experiments.Scale(cfg)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return experiments.Fig1(cfg) },
@@ -119,6 +122,7 @@ func main() {
 			func() error { return experiments.Table2(cfg) },
 			func() error { return experiments.Table3(cfg) },
 			func() error { return experiments.Fig2(cfg, true) },
+			func() error { return experiments.Scale(cfg) },
 		} {
 			if err = f(); err != nil {
 				break

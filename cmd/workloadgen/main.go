@@ -7,6 +7,7 @@
 //	workloadgen -workload tpcds -o tpcds.json
 //	workloadgen -workload accounting -seed 9 -o accounting.json
 //	workloadgen -workload tpcds -scenarios 10 -p 0.75 -o seen.json
+//	workloadgen -workload tpcds -scenarios 1000 -scenario-seed 7 -no-baseline -o unseen7.json
 //	workloadgen -workload tpcds -scenarios 5 -drift 20 -k 4 -o drift.json
 //
 // With -scenarios > 0 the tool writes a scenario set (the first scenario is
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "generator seed (0 = canonical default)")
 	out := flag.String("o", "", "output file (default stdout)")
 	scenarios := flag.Int("scenarios", 0, "emit a scenario set with this many scenarios instead of the workload")
+	scenarioSeed := flag.Int64("scenario-seed", 0, "seed for -scenarios emission, separate from -seed (0 = use -seed); batch out-of-sample sets by varying it")
 	p := flag.Float64("p", fragalloc.DefaultPresence, "query presence probability for random scenarios")
 	noBaseline := flag.Bool("no-baseline", false, "scenario sets: omit the deterministic f=1 baseline (out-of-sample style)")
 	drift := flag.Int("drift", 0, "emit a stream of this many drift updates for allocd instead of the workload")
@@ -84,6 +86,13 @@ func main() {
 			MaxK:            *maxK,
 		})
 	case *scenarios > 0:
+		// -scenario-seed decouples scenario sampling from the workload
+		// generator seed, so one invocation per seed batch-emits disjoint
+		// out-of-sample sets against the same workload (cmd/evaluate -sfile
+		// streams them back without regenerating inline).
+		if *scenarioSeed != 0 {
+			sseed = *scenarioSeed
+		}
 		if *noBaseline {
 			v = fragalloc.OutOfSampleScenarios(w, *scenarios, *p, sseed)
 		} else {

@@ -160,8 +160,53 @@ func FullReplication(w *Workload, k int) *Allocation {
 
 // Evaluate computes the worst-case load share L̃ of the allocation for every
 // scenario in ss, plus the aggregate robustness metrics of the paper.
+// Aggregates are weighted by ss.Weights when present (reduced sets) and are
+// bit-identical at every parallelism level.
 func Evaluate(w *Workload, alloc *Allocation, ss *ScenarioSet) (*Metrics, error) {
 	return eval.Evaluate(w, alloc, ss)
+}
+
+// Streaming evaluation and scenario reduction (DESIGN.md §3.12).
+type (
+	// StreamOptions bounds EvaluateStream's worker pool and tolerance.
+	StreamOptions = eval.StreamOptions
+	// Evaluator amortizes per-allocation state over many WorstLoad calls.
+	Evaluator = eval.Evaluator
+	// Reduction is a clustered scenario set: weighted representatives,
+	// membership, and per-cluster deviation bounds.
+	Reduction = scenario.Reduction
+	// ReduceConfig parameterizes ReduceScenarios (R, metric, seed).
+	ReduceConfig = scenario.ReduceConfig
+	// ReduceMetric selects the clustering distance (ReduceL1 or ReduceL2).
+	ReduceMetric = scenario.Metric
+)
+
+// Clustering distances for ReduceConfig.Metric.
+const (
+	ReduceL1 = scenario.L1
+	ReduceL2 = scenario.L2
+)
+
+// EvaluateStream is Evaluate with an explicit worker pool: L̃ for every
+// scenario with allocation-dependent state hoisted out of the loop and
+// reused, bit-identical aggregates at every parallelism level.
+func EvaluateStream(w *Workload, alloc *Allocation, ss *ScenarioSet, opt StreamOptions) (*Metrics, error) {
+	return eval.EvaluateStream(w, alloc, ss, opt)
+}
+
+// NewEvaluator builds reusable evaluation state for one allocation; its
+// WorstLoad method is allocation-free per scenario. tol ≤ 0 means 1e-9.
+func NewEvaluator(w *Workload, alloc *Allocation, tol float64) *Evaluator {
+	return eval.NewEvaluator(w, alloc, tol)
+}
+
+// ReduceScenarios clusters the scenario set with deterministic seeded
+// k-medoids over normalized load-share vectors and returns weighted cluster
+// representatives plus per-cluster deviation bounds: solving over
+// Reduction.Reduced covers every member scenario to within Radius of its
+// representative. R ≥ S yields the identity reduction.
+func ReduceScenarios(w *Workload, ss *ScenarioSet, cfg ReduceConfig) (*Reduction, error) {
+	return scenario.Reduce(w, ss, cfg)
 }
 
 // WorstLoad computes L̃ for a single frequency vector (flow-based, exact to

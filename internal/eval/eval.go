@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"math"
 
-	"fragalloc/internal/maxflow"
 	"fragalloc/internal/model"
 	"fragalloc/internal/simplex"
 )
@@ -114,82 +113,13 @@ func WorstLoadLP(w *model.Workload, alloc *model.Allocation, freq []float64) (fl
 // max-flow feasibility probe per step: route query loads (source→query→
 // runnable node→sink with node capacity L) and check all load is placed.
 // tol is the absolute precision of the returned L̃ (default 1e-9 if ≤ 0).
+//
+// This is the one-shot convenience wrapper; it rebuilds the allocation's
+// executability sets and flow graph on every call. Evaluating many
+// scenarios against the same allocation should construct an Evaluator once
+// (or call EvaluateStream), which amortizes that work to zero per scenario.
 func WorstLoadFlow(w *model.Workload, alloc *model.Allocation, freq []float64, tol float64) (float64, error) {
-	if tol <= 0 {
-		tol = 1e-9
-	}
-	loads, err := loadShares(w, freq)
-	if err != nil {
-		return 0, err
-	}
-	runnable := Runnable(w, alloc)
-
-	// Vertices: 0 = source, 1..q = load-carrying queries, then nodes, sink.
-	var js []int
-	for j := range w.Queries {
-		if loads[j] <= 0 {
-			continue
-		}
-		if len(runnable[j]) == 0 {
-			return math.Inf(1), nil
-		}
-		js = append(js, j)
-	}
-	nq := len(js)
-	source := 0
-	sink := 1 + nq + alloc.K
-	g := maxflow.NewGraph(sink + 1)
-	var totalLoad float64
-	var srcEdges, midEdges []int
-	for qi, j := range js {
-		srcEdges = append(srcEdges, g.AddEdge(source, 1+qi, loads[j]))
-		totalLoad += loads[j]
-		for _, k := range runnable[j] {
-			midEdges = append(midEdges, g.AddEdge(1+qi, 1+nq+k, 2)) // effectively unbounded (loads ≤ 1)
-		}
-	}
-	nodeEdges := make([]int, alloc.K)
-	for k := 0; k < alloc.K; k++ {
-		nodeEdges[k] = g.AddEdge(1+nq+k, sink, 0)
-	}
-
-	feasible := func(l float64) bool {
-		// Reset all capacities (source and query edges are consumed by
-		// earlier runs, so rebuild their capacities too).
-		for qi, id := range srcEdges {
-			g.SetCapacity(id, loads[js[qi]])
-		}
-		for _, id := range midEdges {
-			g.SetCapacity(id, 2)
-		}
-		for k := 0; k < alloc.K; k++ {
-			g.SetCapacity(nodeEdges[k], l)
-		}
-		return g.MaxFlow(source, sink, tol/16) >= totalLoad-tol/4
-	}
-
-	lo := 1 / float64(alloc.K) // can never beat the perfect average
-	// The largest single query load is also a lower bound when that query
-	// runs on one node only.
-	for qi, j := range js {
-		if len(runnable[j]) == 1 && loads[j] > lo {
-			lo = loads[j]
-		}
-		_ = qi
-	}
-	hi := 1.0
-	if feasible(lo) {
-		return lo, nil
-	}
-	for hi-lo > tol {
-		mid := (lo + hi) / 2
-		if feasible(mid) {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, nil
+	return NewEvaluator(w, alloc, tol).WorstLoad(freq)
 }
 
 // Metrics aggregates an allocation's performance over a set of scenarios.
@@ -206,28 +136,8 @@ type Metrics struct {
 }
 
 // Evaluate computes L̃ for every scenario in ss using the flow evaluator.
+// It is EvaluateStream at default parallelism: aggregates are weighted by
+// ss.Weights when present and bit-identical at every parallelism level.
 func Evaluate(w *model.Workload, alloc *model.Allocation, ss *model.ScenarioSet) (*Metrics, error) {
-	m := &Metrics{}
-	invK := 1 / float64(alloc.K)
-	finite := 0
-	for _, freq := range ss.Frequencies {
-		l, err := WorstLoadFlow(w, alloc, freq, 1e-9)
-		if err != nil {
-			return nil, err
-		}
-		m.L = append(m.L, l)
-		if math.IsInf(l, 1) {
-			m.Unservable++
-			continue
-		}
-		finite++
-		m.MeanL += l
-		m.MeanThroughput += invK / l
-	}
-	if finite > 0 {
-		m.MeanL /= float64(finite)
-		m.MeanGap = m.MeanL - invK
-	}
-	m.MeanThroughput /= float64(len(ss.Frequencies)) // unservable count as 0
-	return m, nil
+	return EvaluateStream(w, alloc, ss, StreamOptions{})
 }

@@ -75,6 +75,25 @@ func TestTable3Output(t *testing.T) {
 	}
 }
 
+func TestScaleOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale rows solve the Table 3 configuration")
+	}
+	var buf bytes.Buffer
+	if err := Scale(benchCfg("tpcds", &buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Scenario scale-out", "reduced R=2", "full S=4", "within-bound check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scale output missing %q; got:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("scale output reports a deviation-bound violation:\n%s", out)
+	}
+}
+
 func TestUnknownWorkload(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := benchCfg("nope", &buf)

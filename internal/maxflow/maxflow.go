@@ -8,6 +8,12 @@
 // yields the minimal worst-case load share L̃ of Section 4.2 of the paper,
 // orders of magnitude faster than re-solving the LP, and is cross-checked
 // against the LP evaluator in tests.
+//
+// A Graph owns its BFS/DFS scratch, so repeated MaxFlow runs on the same
+// graph (the evaluator's binary search, and its streaming driver's reuse of
+// one graph across thousands of scenarios) allocate nothing. A Graph is
+// therefore not safe for concurrent use; the streaming evaluator gives each
+// worker its own.
 package maxflow
 
 import "math"
@@ -18,6 +24,13 @@ type Graph struct {
 	heads [][]int // adjacency: vertex -> edge indices
 	to    []int
 	cap   []float64
+
+	// Search scratch, lazily sized on first MaxFlow and reused after.
+	level []int
+	iter  []int
+	queue []int
+	eps   float64
+	t     int
 }
 
 // NewGraph returns a graph with n vertices and no edges.
@@ -52,63 +65,42 @@ func (g *Graph) SetCapacity(id int, capacity float64) {
 	g.cap[id^1] = 0
 }
 
+// AddCapacity raises the capacity of edge id by delta WITHOUT touching the
+// reverse residual edge, so flow already routed through it survives. This is
+// the primitive behind parametric re-solving: monotonically enlarge some
+// capacities, then call MaxFlow again — it returns only the additional flow
+// found, continuing from the preserved state.
+func (g *Graph) AddCapacity(id int, delta float64) {
+	g.cap[id] += delta
+}
+
+// SourceSide reports whether vertex v lies on the source side of the min cut
+// found by the last MaxFlow run (reachable from s in the final residual
+// network). Only meaningful after MaxFlow has returned; the terminating BFS
+// left exactly that reachability in the level labels.
+func (g *Graph) SourceSide(v int) bool { return g.level[v] >= 0 }
+
 // MaxFlow computes the maximum s→t flow with Dinic's algorithm. The epsilon
 // guards float comparisons; capacities below eps are treated as saturated.
 func (g *Graph) MaxFlow(s, t int, eps float64) float64 {
 	if eps <= 0 {
 		eps = 1e-12
 	}
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
-
-	bfs := func() bool {
-		for i := range level {
-			level[i] = -1
-		}
-		level[s] = 0
-		queue = queue[:0]
-		queue = append(queue, s)
-		for qi := 0; qi < len(queue); qi++ {
-			u := queue[qi]
-			for _, id := range g.heads[u] {
-				if g.cap[id] > eps && level[g.to[id]] == -1 {
-					level[g.to[id]] = level[u] + 1
-					queue = append(queue, g.to[id])
-				}
-			}
-		}
-		return level[t] >= 0
+	if len(g.level) < g.n {
+		g.level = make([]int, g.n)
+		g.iter = make([]int, g.n)
+		g.queue = make([]int, 0, g.n)
 	}
-
-	var dfs func(u int, limit float64) float64
-	dfs = func(u int, limit float64) float64 {
-		if u == t {
-			return limit
-		}
-		for ; iter[u] < len(g.heads[u]); iter[u]++ {
-			id := g.heads[u][iter[u]]
-			v := g.to[id]
-			if g.cap[id] <= eps || level[v] != level[u]+1 {
-				continue
-			}
-			pushed := dfs(v, math.Min(limit, g.cap[id]))
-			if pushed > eps {
-				g.cap[id] -= pushed
-				g.cap[id^1] += pushed
-				return pushed
-			}
-		}
-		return 0
-	}
+	g.eps = eps
+	g.t = t
 
 	var total float64
-	for bfs() {
-		for i := range iter {
-			iter[i] = 0
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
 		}
 		for {
-			pushed := dfs(s, math.Inf(1))
+			pushed := g.dfs(s, math.Inf(1))
 			if pushed <= eps {
 				break
 			}
@@ -116,4 +108,48 @@ func (g *Graph) MaxFlow(s, t int, eps float64) float64 {
 		}
 	}
 	return total
+}
+
+// bfs builds the level graph of the current residual network and reports
+// whether t is reachable from s.
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	g.level[s] = 0
+	g.queue = g.queue[:0]
+	g.queue = append(g.queue, s)
+	for qi := 0; qi < len(g.queue); qi++ {
+		u := g.queue[qi]
+		for _, id := range g.heads[u] {
+			if g.cap[id] > g.eps && g.level[g.to[id]] == -1 {
+				g.level[g.to[id]] = g.level[u] + 1
+				g.queue = append(g.queue, g.to[id])
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs pushes one blocking-path unit of flow toward g.t along the level
+// graph, advancing the per-vertex iterators so dead branches are never
+// revisited within a phase.
+func (g *Graph) dfs(u int, limit float64) float64 {
+	if u == g.t {
+		return limit
+	}
+	for ; g.iter[u] < len(g.heads[u]); g.iter[u]++ {
+		id := g.heads[u][g.iter[u]]
+		v := g.to[id]
+		if g.cap[id] <= g.eps || g.level[v] != g.level[u]+1 {
+			continue
+		}
+		pushed := g.dfs(v, math.Min(limit, g.cap[id]))
+		if pushed > g.eps {
+			g.cap[id] -= pushed
+			g.cap[id^1] += pushed
+			return pushed
+		}
+	}
+	return 0
 }

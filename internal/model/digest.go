@@ -38,7 +38,9 @@ func (w *Workload) Digest() uint64 {
 }
 
 // Digest returns a stable FNV-1a fingerprint of the scenario set: the exact
-// bit patterns of every frequency, in scenario and query order.
+// bit patterns of every frequency, in scenario and query order, plus the
+// scenario weights when present. Weightless sets hash exactly as before the
+// weights existed, so journals recorded against them stay valid.
 func (ss *ScenarioSet) Digest() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -51,6 +53,12 @@ func (ss *ScenarioSet) Digest() uint64 {
 		u64(uint64(len(freq)))
 		for _, f := range freq {
 			u64(math.Float64bits(f))
+		}
+	}
+	if ss.Weights != nil {
+		u64(uint64(len(ss.Weights)))
+		for _, w := range ss.Weights {
+			u64(math.Float64bits(w))
 		}
 	}
 	return h.Sum64()

@@ -273,6 +273,64 @@ func TestExpectedLoads(t *testing.T) {
 	}
 }
 
+func TestScenarioSetWeights(t *testing.T) {
+	w := validWorkload()
+	ss := &ScenarioSet{Frequencies: [][]float64{{1, 1}, {3, 0}}, Weights: []float64{3, 1}}
+	if err := ss.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.TotalWeight(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("TotalWeight = %g, want 4", got)
+	}
+	if ss.Weight(0) != 3 || ss.Weight(1) != 1 {
+		t.Errorf("Weight = %g/%g, want 3/1", ss.Weight(0), ss.Weight(1))
+	}
+	// Weighted mean: query 0: (3·1·2 + 1·3·2)/4 = 3; query 1: 3·1·3/4 = 2.25.
+	loads := ss.ExpectedLoads(w)
+	if math.Abs(loads[0]-3) > 1e-12 || math.Abs(loads[1]-2.25) > 1e-12 {
+		t.Errorf("weighted expected loads = %v, want [3 2.25]", loads)
+	}
+	// Weighted ≡ duplicated: the same set with scenario 0 expanded 3×.
+	dup := &ScenarioSet{Frequencies: [][]float64{{1, 1}, {1, 1}, {1, 1}, {3, 0}}}
+	dl := dup.ExpectedLoads(w)
+	for j := range loads {
+		if math.Abs(loads[j]-dl[j]) > 1e-12 {
+			t.Errorf("query %d: weighted %g != duplicated %g", j, loads[j], dl[j])
+		}
+	}
+
+	c := ss.Clone()
+	c.Weights[0] = 99
+	if ss.Weights[0] == 99 {
+		t.Error("Clone shares the Weights slice")
+	}
+
+	for _, bad := range []*ScenarioSet{
+		{Frequencies: ss.Frequencies, Weights: []float64{3}},              // wrong length
+		{Frequencies: ss.Frequencies, Weights: []float64{3, 0}},           // non-positive
+		{Frequencies: ss.Frequencies, Weights: []float64{3, math.Inf(1)}}, // non-finite
+	} {
+		if err := bad.Validate(w); err == nil {
+			t.Errorf("want error for weights %v", bad.Weights)
+		}
+	}
+}
+
+func TestScenarioSetWeightsDigest(t *testing.T) {
+	w := validWorkload()
+	base := &ScenarioSet{Frequencies: [][]float64{{1, 1}, {3, 0}}}
+	_ = w
+	unweighted := base.Digest()
+	weighted := &ScenarioSet{Frequencies: base.Frequencies, Weights: []float64{1, 1}}
+	if weighted.Digest() == unweighted {
+		t.Error("explicit weights must change the digest (journal back-compat keys off nil)")
+	}
+	other := &ScenarioSet{Frequencies: base.Frequencies, Weights: []float64{2, 1}}
+	if weighted.Digest() == other.Digest() {
+		t.Error("different weights must produce different digests")
+	}
+}
+
 func TestReplicationFactorEdgeCases(t *testing.T) {
 	w := validWorkload()
 	a := NewAllocation(1)

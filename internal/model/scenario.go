@@ -1,6 +1,9 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ScenarioSet holds S workload scenarios over the same query set. Scenario s
 // is a frequency vector f_{.,s}; query costs are shared with the workload.
@@ -11,6 +14,32 @@ import "fmt"
 type ScenarioSet struct {
 	// Frequencies[s][j] is the frequency of query j in scenario s.
 	Frequencies [][]float64 `json:"frequencies"`
+	// Weights, if non-nil, assigns each scenario a positive weight. A
+	// reduced scenario set (internal/scenario.Reduce) uses the weights to
+	// record how many original scenarios each cluster representative stands
+	// for, so expected-value statistics over the representatives estimate
+	// the statistics of the full set. nil means uniform weights of 1.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// Weight returns scenario s's weight (1 when Weights is nil).
+func (ss *ScenarioSet) Weight(s int) float64 {
+	if ss.Weights == nil {
+		return 1
+	}
+	return ss.Weights[s]
+}
+
+// TotalWeight returns the summed scenario weights (S when Weights is nil).
+func (ss *ScenarioSet) TotalWeight() float64 {
+	if ss.Weights == nil {
+		return float64(len(ss.Frequencies))
+	}
+	var t float64
+	for _, w := range ss.Weights {
+		t += w
+	}
+	return t
 }
 
 // SingleScenario wraps one frequency vector as a ScenarioSet with S=1. The
@@ -36,14 +65,28 @@ func (ss *ScenarioSet) Clone() *ScenarioSet {
 	for s := range ss.Frequencies {
 		c.Frequencies[s] = append([]float64(nil), ss.Frequencies[s]...)
 	}
+	if ss.Weights != nil {
+		c.Weights = append([]float64(nil), ss.Weights...)
+	}
 	return c
 }
 
 // Validate checks that every scenario has exactly Q non-negative
-// frequencies and a positive total cost.
+// frequencies and a positive total cost, and that Weights — if present —
+// holds one positive weight per scenario.
 func (ss *ScenarioSet) Validate(w *Workload) error {
 	if len(ss.Frequencies) == 0 {
 		return fmt.Errorf("model: scenario set is empty")
+	}
+	if ss.Weights != nil {
+		if len(ss.Weights) != len(ss.Frequencies) {
+			return fmt.Errorf("model: scenario set has %d weights, want %d", len(ss.Weights), len(ss.Frequencies))
+		}
+		for s, wt := range ss.Weights {
+			if wt <= 0 || math.IsInf(wt, 0) || math.IsNaN(wt) {
+				return fmt.Errorf("model: scenario %d has non-positive weight %g", s, wt)
+			}
+		}
 	}
 	for s, freq := range ss.Frequencies {
 		if len(freq) != len(w.Queries) {
@@ -62,19 +105,22 @@ func (ss *ScenarioSet) Validate(w *Workload) error {
 }
 
 // ExpectedLoads returns per-query expected normalized loads
-// E_s(f_{j,s}) * c_j averaged uniformly over scenarios, which the partial
-// clustering approach uses to order queries (Section 3.2).
+// E_s(f_{j,s}) * c_j averaged over scenarios, which the partial clustering
+// approach uses to order queries (Section 3.2). The average is weighted by
+// Weights when present, so a reduced set's representatives reproduce the
+// expectation over the full set they stand for.
 func (ss *ScenarioSet) ExpectedLoads(w *Workload) []float64 {
 	loads := make([]float64, len(w.Queries))
 	if len(ss.Frequencies) == 0 {
 		return loads
 	}
-	for _, freq := range ss.Frequencies {
+	for s, freq := range ss.Frequencies {
+		wt := ss.Weight(s)
 		for j := range loads {
-			loads[j] += freq[j] * w.Queries[j].Cost
+			loads[j] += wt * freq[j] * w.Queries[j].Cost
 		}
 	}
-	inv := 1 / float64(len(ss.Frequencies))
+	inv := 1 / ss.TotalWeight()
 	for j := range loads {
 		loads[j] *= inv
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"fragalloc/internal/faultinject"
 	"fragalloc/internal/mip"
 	"fragalloc/internal/model"
+	"fragalloc/internal/scenario"
 )
 
 // Named kill points of the service loop, planted for the crash-restart suite
@@ -66,6 +68,24 @@ type Config struct {
 	Alpha        float64
 	Parallelism  int
 	MIP          mip.Options
+
+	// ReduceTo, when > 0, clusters the desired scenario set down to at most
+	// this many weighted representatives (k-medoids, DESIGN.md §3.12) and
+	// solves over those instead of the full set: the solve cost is bounded
+	// by R while the set keeps growing with every observed scenario. Newly
+	// observed scenarios fold into their nearest cluster between solves; a
+	// full re-clustering runs only when the accumulated drift trips
+	// ReclusterThreshold. The full set stays the desired state and is what
+	// the journal persists — the reduction is derived and rebuilt
+	// deterministically at boot.
+	ReduceTo int
+	// ReclusterThreshold triggers a re-clustering once the weight folded or
+	// drifted since the last clustering exceeds this fraction of the set
+	// size the clustering was built from (default 0.25).
+	ReclusterThreshold float64
+	// ReduceSeed seeds the deterministic k-medoids initialization
+	// (default 1).
+	ReduceSeed int64
 
 	// SolveTimeout bounds each re-optimization attempt (0 = none).
 	// BackoffBase and BackoffMax shape the exponential retry backoff after
@@ -122,22 +142,30 @@ type Service struct {
 	persistMu sync.Mutex
 
 	mu           sync.Mutex
-	scen         *model.ScenarioSet // desired scenario set (current epoch)
-	k            int                // desired node count
-	epoch        uint64             // bumps on every accepted update
-	inc          *Incumbent         // last good incumbent; nil before bootstrap
-	lastDiff     *Diff              // migration plan of the latest adoption
-	lastErr      string             // why the latest attempt was rejected
-	attemptEpoch uint64             // highest epoch a finished attempt targeted
-	attemptDone  chan struct{}      // closed when an attempt finishes; then swapped
-	fails        int                // consecutive failed attempts
-	attempts     int                // total attempts
-	adoptions    int                // total adoptions
+	scen         *model.ScenarioSet  // desired scenario set (current epoch)
+	k            int                 // desired node count
+	epoch        uint64              // bumps on every accepted update
+	inc          *Incumbent          // last good incumbent; nil before bootstrap
+	red          *scenario.Reduction // derived reduced set; nil unless cfg.ReduceTo > 0
+	redDirty     bool                // accumulated drift warrants a re-clustering
+	drifted      float64             // weight folded or drifted since the last clustering
+	redBaseS     int                 // full-set size the live clustering was built from
+	reclusters   int                 // re-clusterings since boot (the boot build excluded)
+	lastDiff     *Diff               // migration plan of the latest adoption
+	lastErr      string              // why the latest attempt was rejected
+	attemptEpoch uint64              // highest epoch a finished attempt targeted
+	attemptDone  chan struct{}       // closed when an attempt finishes; then swapped
+	fails        int                 // consecutive failed attempts
+	attempts     int                 // total attempts
+	adoptions    int                 // total adoptions
 }
 
 // persistedState is the state journal's payload: everything the daemon needs
 // to boot back into its last served state. The workload digest binds the
 // journal to its workload, mirroring the solver journal's runKey binding.
+// Scenarios is always the FULL desired set — the scenario reduction is
+// derived state and deliberately not journaled; New re-clusters
+// deterministically from the full set at boot.
 type persistedState struct {
 	WorkloadDigest uint64             `json:"workload_digest"`
 	Epoch          uint64             `json:"epoch"`
@@ -171,6 +199,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 30 * time.Second
 	}
+	if cfg.ReclusterThreshold <= 0 {
+		cfg.ReclusterThreshold = 0.25
+	}
+	if cfg.ReduceSeed == 0 {
+		cfg.ReduceSeed = 1
+	}
 	scen := cfg.Scenarios
 	if scen == nil {
 		scen = model.DefaultScenario(cfg.Workload)
@@ -195,7 +229,25 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.ReduceTo > 0 {
+		// The reduction is derived state: build it here (and after every
+		// re-clustering) from the full set rather than journaling it. The
+		// seeded k-medoids init makes the boot-time rebuild deterministic;
+		// folds and radius widenings since the last clustering are lost in a
+		// crash, but the from-scratch rebuild is at least as tight.
+		red, err := scenario.Reduce(cfg.Workload, s.scen, s.reduceConfig())
+		if err != nil {
+			return nil, fmt.Errorf("service: scenario reduction: %w", err)
+		}
+		s.red, s.redBaseS = red, s.scen.S()
+	}
 	return s, nil
+}
+
+// reduceConfig is the daemon's fixed clustering recipe; using it for both
+// the boot build and every re-clustering keeps reductions reproducible.
+func (s *Service) reduceConfig() scenario.ReduceConfig {
+	return scenario.ReduceConfig{R: s.cfg.ReduceTo, Seed: s.cfg.ReduceSeed}
 }
 
 // restore adopts the newest good state-journal generation, if any.
@@ -344,6 +396,17 @@ func (s *Service) reoptimize(ctx context.Context, boot bool) error {
 	epoch := s.epoch
 	k := s.k
 	scen := s.scen
+	solveSet := scen
+	rebuild := false
+	if s.cfg.ReduceTo > 0 {
+		if s.redDirty || s.red == nil {
+			rebuild = true
+		} else {
+			// Clone under mu: Apply folds observations into s.red.Reduced
+			// concurrently, and the solver must see a frozen set.
+			solveSet = s.red.Reduced.Clone()
+		}
+	}
 	var warm *model.Allocation
 	var fromEpoch uint64
 	if s.inc != nil {
@@ -352,6 +415,29 @@ func (s *Service) reoptimize(ctx context.Context, boot bool) error {
 	}
 	s.attempts++
 	s.mu.Unlock()
+
+	if rebuild {
+		// Re-cluster outside the lock — the snapshot pointer is immutable
+		// (applyUpdate always clones), so the O(S·R·Q) k-medoids run cannot
+		// race ingests or block Status readers. Adopt the result only if no
+		// update landed meanwhile; otherwise it still serves this solve and
+		// the dirty flag sends the next attempt back here.
+		red, rerr := scenario.Reduce(s.cfg.Workload, scen, s.reduceConfig())
+		if rerr != nil {
+			rerr = fmt.Errorf("service: scenario reduction: %w", rerr)
+			s.finishAttempt(epoch, false, nil, rerr)
+			return rerr
+		}
+		solveSet = red.Reduced.Clone()
+		s.mu.Lock()
+		if s.scen == scen {
+			s.red, s.redDirty, s.drifted, s.redBaseS = red, false, 0, scen.S()
+			s.reclusters++
+		}
+		s.mu.Unlock()
+		s.logf("service: re-clustered %d scenarios into %d representatives (max deviation bound %.4f)",
+			scen.S(), red.R(), red.MaxRadius())
+	}
 
 	sctx := ctx
 	if s.cfg.SolveTimeout > 0 {
@@ -378,7 +464,7 @@ func (s *Service) reoptimize(ctx context.Context, boot bool) error {
 		Logf:         s.cfg.Logf,
 	}
 	start := time.Now()
-	res, err := core.Allocate(s.cfg.Workload, scen, k, opt)
+	res, err := core.Allocate(s.cfg.Workload, solveSet, k, opt)
 	switch {
 	case err != nil:
 		s.finishAttempt(epoch, false, nil, err)
@@ -518,9 +604,13 @@ func (s *Service) Apply(u Update) (uint64, error) {
 		s.mu.Unlock()
 		return 0, fmt.Errorf("service: set_k %d conflicts with the fixed chunk spec %q (%d nodes)", k, s.cfg.Chunks, s.cfg.Chunks.Leaves)
 	}
+	oldS := s.scen.S()
 	s.scen, s.k = scen, k
 	s.epoch++
 	epoch := s.epoch
+	if s.red != nil {
+		s.absorbLocked(u, oldS, scen)
+	}
 	s.mu.Unlock()
 
 	if err := s.persist(); err != nil {
@@ -529,6 +619,37 @@ func (s *Service) Apply(u Update) (uint64, error) {
 	s.cfg.Fault.At(KillPointIngest)
 	s.kick()
 	return epoch, nil
+}
+
+// absorbLocked folds an accepted update into the derived reduction instead
+// of re-clustering: newly observed scenarios join their nearest cluster with
+// weight 1, and scenarios moved by frequency deltas re-register their
+// coverage and deviation with weight 0 (they are already counted). Either
+// way the cluster radius widens as needed, so the deviation bound stays
+// honest between re-clusterings. Both kinds advance the drift total; once it
+// exceeds ReclusterThreshold × the size the clustering was built from, the
+// next re-optimization rebuilds from scratch. Caller holds s.mu.
+func (s *Service) absorbLocked(u Update, oldS int, scen *model.ScenarioSet) {
+	seen := make(map[int]bool)
+	var touched []int
+	for _, d := range u.FreqDeltas {
+		if d.Scenario < oldS && !seen[d.Scenario] {
+			seen[d.Scenario] = true
+			touched = append(touched, d.Scenario)
+		}
+	}
+	sort.Ints(touched)
+	for _, idx := range touched {
+		s.red.Absorb(scen.Frequencies[idx], 0)
+		s.drifted++
+	}
+	for i := oldS; i < scen.S(); i++ {
+		s.red.Absorb(scen.Frequencies[i], 1)
+		s.drifted++
+	}
+	if s.drifted > s.cfg.ReclusterThreshold*float64(s.redBaseS) {
+		s.redDirty = true
+	}
 }
 
 // kick wakes the Run loop; a pending wake already covers us (coalescing).
@@ -609,6 +730,16 @@ type Status struct {
 	K         int `json:"k"`
 	Scenarios int `json:"scenarios"`
 
+	// Scenario reduction (all zero unless the daemon clusters its set,
+	// DESIGN.md §3.12): how many weighted representatives the solves see,
+	// the certified worst-case deviation of any member scenario from its
+	// representative, the drift folded in since the last clustering, and how
+	// often the threshold forced a rebuild.
+	ReducedScenarios    int     `json:"reduced_scenarios,omitempty"`
+	MaxDeviationBound   float64 `json:"max_deviation_bound,omitempty"`
+	DriftSinceRecluster float64 `json:"drift_since_recluster,omitempty"`
+	Reclusterings       int     `json:"reclusterings,omitempty"`
+
 	// LastError is why the latest attempt was rejected ("" when the
 	// incumbent is current); ConsecutiveFailures drives the backoff.
 	LastError           string `json:"last_error,omitempty"`
@@ -629,6 +760,12 @@ func (s *Service) Status() Status {
 		ConsecutiveFailures: s.fails,
 		Attempts:            s.attempts,
 		Adoptions:           s.adoptions,
+	}
+	if s.red != nil {
+		st.ReducedScenarios = s.red.R()
+		st.MaxDeviationBound = s.red.MaxRadius()
+		st.DriftSinceRecluster = s.drifted
+		st.Reclusterings = s.reclusters
 	}
 	if s.inc != nil {
 		st.IncumbentEpoch = s.inc.Epoch
