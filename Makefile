@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet fragvet build test race fault crash serve eval bench benchcompile bench-mip bench-eval bench-paper
+.PHONY: check fmt-check vet fragvet build test race fault crash serve ha eval bench benchcompile bench-mip bench-eval bench-paper
 
-check: fmt-check vet fragvet build benchcompile fault crash serve eval race
+check: fmt-check vet fragvet build benchcompile fault crash serve ha eval race
 	@echo "make check: all stages passed"
 
 fmt-check:
@@ -77,6 +77,18 @@ serve:
 	@t0=$$(date +%s); $(GO) test -race -timeout 900s -run 'Service|Allocd|Diff|Drift|Shutdown' \
 		./internal/service ./internal/shutdown || exit $$?; \
 	echo "serve: $$(( $$(date +%s) - t0 ))s"
+
+# High-availability suite (DESIGN.md §3.13): lease acquisition/fencing and
+# journal tailing at the checkpoint layer, then the service-level failover
+# acceptance tests — subprocess leaders and followers killed with exit 137
+# at every named HA kill point, standby takeover within 2× the lease TTL
+# with bit-identical convergence, the deposed-leader fencing proof, and
+# admission control under a 100-update burst — under the race detector
+# because election, renewal, tailing, and the solve loop share the service.
+ha:
+	@t0=$$(date +%s); $(GO) test -race -timeout 900s -run 'ServiceHA|Lease|Watcher|Admission|TokenBucket' \
+		./internal/checkpoint ./internal/service || exit $$?; \
+	echo "ha: $$(( $$(date +%s) - t0 ))s"
 
 # Scenario scale-out suite (DESIGN.md §3.12): k-medoids reduction
 # invariants, the reduced-vs-full solve cross-check, the streaming

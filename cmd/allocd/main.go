@@ -23,21 +23,42 @@
 //	POST /v1/update       ingest a drift update (?wait=1 blocks for the solve
 //	                      and returns the migration diff)
 //	GET  /v1/diff         migration plan of the latest adoption
-//	GET  /v1/status       epochs, outcome, failure counters
-//	GET  /healthz         liveness
+//	GET  /v1/status       epochs, outcome, failure counters, role
+//	GET  /healthz         liveness (always 200 while the process runs)
+//	GET  /readyz          readiness (200 once this replica can serve reads)
 //
 // With -state DIR the daemon journals its desired state and incumbent
 // durably: after a crash (even kill -9 mid-solve) it boots straight into the
 // last served allocation and resumes the interrupted re-optimization from
 // the solve journal. Without -state it is memory-only.
 //
-// A first SIGINT/SIGTERM drains the HTTP server and stops the solve loop; a
+// High availability (-role auto, DESIGN.md §3.13): replicas sharing one
+// -state directory elect a leader through a fencing-epoch lease. The leader
+// solves and journals; followers tail the journal, serve reads tagged with
+// their role and staleness, and redirect POST /v1/update to the leader
+// (307). When the leader dies, a standby takes the lease over within 2×
+// -lease-ttl and serves the journaled incumbent; the deposed leader's
+// journal writes are fenced off and it exits with code 4 so a supervisor
+// restarts it into candidacy. -role standby keeps a replica a pure
+// follower that never runs for the lease.
+//
+//	allocd -workload tpcds -k 4 -state /shared/allocd -role auto \
+//	       -node-id a -addr :8080 -advertise http://a.local:8080
+//
+// Admission control (-admit-rate/-admit-burst/-max-pending) bounds update
+// bursts: refused updates get 429 with a Retry-After hint instead of
+// queueing without bound, while single-flight coalescing keeps N pending
+// updates at ≤1 solve.
+//
+// A first SIGINT/SIGTERM drains the HTTP server and stops the solve loop
+// (a leader hands its lease over so a standby elects immediately); a
 // second one exits immediately with code 1.
 //
 // Exit codes:
 //
 //	0  graceful shutdown (signal, server closed)
 //	3  bootstrap found the workload infeasible — nothing to serve
+//	4  demoted: another replica took the lease; restart to rejoin as candidate
 //	1  internal error, or a second signal forced an immediate exit
 package main
 
@@ -48,6 +69,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"fragalloc"
@@ -61,6 +83,7 @@ const (
 	exitOK         = 0
 	exitInternal   = 1
 	exitInfeasible = 3
+	exitDemoted    = 4
 )
 
 func main() {
@@ -81,6 +104,14 @@ func main() {
 	state := flag.String("state", "", "durable state directory (empty = memory-only, no crash tolerance)")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "minimum interval between mid-MIP checkpoints (default 30s)")
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	role := flag.String("role", "single", "replica role: single (no HA), auto (elect through the shared-state lease), standby (follow, never lead)")
+	nodeID := flag.String("node-id", "", "replica name in the lease file (default hostname-pid)")
+	advertise := flag.String("advertise", "", "advertised base URL for write redirection (default http://<addr>)")
+	peers := flag.String("peers", "", "comma-separated base URLs of the other replicas (informational)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "leader lease TTL; failover completes within 2×TTL")
+	admitRate := flag.Float64("admit-rate", 0, "sustained updates/s admitted (0 = unlimited)")
+	admitBurst := flag.Int("admit-burst", 0, "update burst depth before -admit-rate applies (0 = derived)")
+	maxPending := flag.Int("max-pending", 0, "max updates pending behind the incumbent before 429 (0 = unbounded)")
 	verbose := flag.Bool("v", false, "progress logging to stderr")
 	flag.Parse()
 
@@ -115,6 +146,34 @@ func main() {
 		}
 		cfg.Chunks = spec
 	}
+	switch *role {
+	case "single":
+	case "auto", "standby":
+		id := *nodeID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "allocd"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseFromAddr(*addr)
+		}
+		cfg.HA = &service.HAConfig{
+			NodeID:    id,
+			Addr:      adv,
+			LeaseTTL:  *leaseTTL,
+			Peers:     splitPeers(*peers),
+			NoPromote: *role == "standby",
+		}
+	default:
+		fail(fmt.Errorf("-role %q: want single, auto, or standby", *role))
+	}
+	if *admitRate > 0 || *maxPending > 0 {
+		cfg.Admission = &service.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst, MaxPending: *maxPending}
+	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -129,6 +188,52 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	// The timeouts are the slow-loris guard: a client must send its headers
+	// within 5s and its body within a minute, and idle keep-alive sockets
+	// are reaped. WriteTimeout must outlive the longest ?wait=1 update — it
+	// spans the re-optimization the handler blocks on — hence minutes, not
+	// seconds.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		<-ctx.Done()
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "allocd: shutdown: %v\n", err)
+		}
+	}()
+
+	if cfg.HA != nil {
+		// HA replica: serve immediately — a follower answers reads (and
+		// /readyz says when) long before it ever bootstraps a solve — and
+		// run the election loop in the foreground.
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.ListenAndServe() }()
+		logf("allocd: %s serving on %s (role %s, lease ttl %v)", cfg.HA.NodeID, *addr, *role, *leaseTTL)
+		switch err := svc.RunHA(ctx); {
+		case errors.Is(err, service.ErrDemoted):
+			fmt.Fprintf(os.Stderr, "allocd: %v\n", err)
+			os.Exit(exitDemoted)
+		case errors.Is(err, fragalloc.ErrInfeasible):
+			fmt.Fprintf(os.Stderr, "allocd: %v\n", err)
+			os.Exit(exitInfeasible)
+		case err != nil:
+			fail(err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+		os.Exit(exitOK)
+	}
+
 	logf("allocd: bootstrapping the first incumbent (workload %d fragments, %d queries, K=%d)",
 		len(w.Fragments), len(w.Queries), *k)
 	if err := svc.Bootstrap(ctx); err != nil {
@@ -140,20 +245,30 @@ func main() {
 	}
 	go svc.Run(ctx)
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
-	go func() {
-		<-ctx.Done()
-		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer shutCancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "allocd: shutdown: %v\n", err)
-		}
-	}()
 	logf("allocd: serving on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
 	os.Exit(exitOK)
+}
+
+// advertiseFromAddr derives a redirect target from the listen address: a
+// bare ":8080" advertises loopback, anything with a host advertises itself.
+func advertiseFromAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func loadWorkload(name, path string) (*fragalloc.Workload, error) {

@@ -134,6 +134,7 @@ func TestCtxHookGolden(t *testing.T)     { runGolden(t, "ctxhook", CtxHook) }
 func TestAtomicwriteGolden(t *testing.T) { runGolden(t, "atomicwrite", Atomicwrite) }
 func TestDetSourceGolden(t *testing.T)   { runGolden(t, "detsource", DetSource) }
 func TestErrDropGolden(t *testing.T)     { runGolden(t, "errdrop", ErrDrop) }
+func TestSrvTimeoutGolden(t *testing.T)  { runGolden(t, "srvtimeout", SrvTimeout) }
 
 // TestIgnoreDirectives exercises the suppression path with the full suite:
 // valid annotations silence their analyzer, while empty reasons, missing

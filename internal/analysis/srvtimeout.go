@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SrvTimeout guards the daemon's slow-client defense: an http.Server built
+// with neither ReadHeaderTimeout nor ReadTimeout accepts connections that a
+// slow-loris client can hold open forever — each costs a goroutine and a
+// socket, and the daemon's read path degrades long before the solver does.
+// Every http.Server literal must set at least one of the two read-side
+// timeouts (ReadHeaderTimeout is the cheap one: it bounds the header phase
+// without constraining long-polling handlers like ?wait=1 updates).
+//
+// The literal is resolved through the type info, so aliased imports are
+// seen and identically named local Server types are not. A literal whose
+// enclosing function later assigns ReadHeaderTimeout or ReadTimeout on a
+// *net/http.Server value is exempt — configure-after-construct is fine, the
+// invariant is that the timeouts exist before ListenAndServe.
+var SrvTimeout = &Analyzer{
+	Name: "srvtimeout",
+	Doc: "flag http.Server literals that set neither ReadHeaderTimeout nor " +
+		"ReadTimeout (slow-loris exposure)",
+	Run: runSrvTimeout,
+}
+
+func runSrvTimeout(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		var stack nodeStack
+		ast.Inspect(file, func(n ast.Node) bool {
+			if !stack.step(n) {
+				return false
+			}
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isHTTPServerType(pass, pass.Pkg.Info.TypeOf(lit)) {
+				return true
+			}
+			if literalSetsReadTimeout(lit) {
+				return true
+			}
+			if body := stack.enclosingFuncBody(); body != nil && assignsReadTimeout(pass, body) {
+				return true
+			}
+			pass.Reportf(lit.Pos(), "http.Server sets neither ReadHeaderTimeout nor ReadTimeout; "+
+				"a slow client can hold connections open forever — set at least ReadHeaderTimeout")
+			return true
+		})
+	}
+}
+
+// isHTTPServerType reports whether t is net/http.Server (pointers and named
+// aliases resolved).
+func isHTTPServerType(pass *Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// readTimeoutFields are the fields whose presence satisfies the invariant.
+var readTimeoutFields = map[string]bool{
+	"ReadHeaderTimeout": true,
+	"ReadTimeout":       true,
+}
+
+func literalSetsReadTimeout(lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && readTimeoutFields[key.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// assignsReadTimeout reports whether the function body assigns a read-side
+// timeout field on some net/http.Server value — the configure-after-construct
+// exemption. The check is per-function, not per-object: a body that fixes up
+// one server is assumed to know what it is doing with all of them.
+func assignsReadTimeout(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || !readTimeoutFields[sel.Sel.Name] {
+				continue
+			}
+			if isHTTPServerType(pass, pass.Pkg.Info.TypeOf(sel.X)) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+// Package st is golden-test input for the srvtimeout analyzer.
+package st
+
+import (
+	nh "net/http"
+	"time"
+)
+
+// bareServer builds a server with no timeouts at all.
+func bareServer(addr string) *nh.Server {
+	return &nh.Server{Addr: addr} // want "http.Server sets neither ReadHeaderTimeout nor ReadTimeout"
+}
+
+// valueLiteral is equally exposed without the pointer.
+func valueLiteral() nh.Server {
+	return nh.Server{Addr: ":8080"} // want "http.Server sets neither ReadHeaderTimeout nor ReadTimeout"
+}
+
+// writeOnly sets only write-side timeouts; the read path is still open.
+func writeOnly() *nh.Server {
+	return &nh.Server{ // want "http.Server sets neither ReadHeaderTimeout nor ReadTimeout"
+		WriteTimeout: 10 * time.Second,
+		IdleTimeout:  time.Minute,
+	}
+}
+
+// headerTimeout satisfies the invariant with the cheap header bound.
+func headerTimeout() *nh.Server {
+	return &nh.Server{Addr: ":8080", ReadHeaderTimeout: 5 * time.Second}
+}
+
+// readTimeout satisfies it with the full-request bound.
+func readTimeout() *nh.Server {
+	return &nh.Server{ReadTimeout: time.Minute}
+}
+
+// configuredLater is the configure-after-construct exemption: the enclosing
+// function assigns a read-side timeout before serving.
+func configuredLater(addr string) *nh.Server {
+	srv := &nh.Server{Addr: addr}
+	srv.ReadHeaderTimeout = 5 * time.Second
+	return srv
+}
+
+// Server is a local type that happens to share the name; literals of it are
+// not the analyzer's business.
+type Server struct {
+	Addr string
+}
+
+func localServer() Server {
+	return Server{Addr: ":8080"}
+}
+
+// fieldAssignOnLocal does not exempt: the assigned object is not an
+// http.Server.
+type fake struct{ ReadTimeout time.Duration }
+
+func fieldAssignOnLocal() *nh.Server {
+	f := &fake{}
+	f.ReadTimeout = time.Second
+	return &nh.Server{} // want "http.Server sets neither ReadHeaderTimeout nor ReadTimeout"
+}

@@ -59,6 +59,7 @@ type FaultInjector interface {
 type Store struct {
 	dir   string
 	fault FaultInjector
+	fence func() error
 
 	mu  sync.Mutex
 	gen uint64 // newest generation written or found on disk
@@ -86,9 +87,27 @@ func (st *Store) Dir() string { return st.dir }
 // SetFault installs a fault injector on the write path (tests only).
 func (st *Store) SetFault(f FaultInjector) { st.fault = f }
 
+// SetFence installs a gate consulted at the top of every durable save. A
+// non-nil error from the fence aborts the save before any byte is written —
+// this is how a replicated service keeps a deposed leader from journaling:
+// the fence verifies the leader lease (epoch and holder) on every write, so
+// once the lease is lost or taken over with a higher fencing epoch, the old
+// leader's generations can never reach the shared journal (DESIGN.md §3.13).
+func (st *Store) SetFence(f func() error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.fence = f
+}
+
 // generations lists the on-disk generation numbers in ascending order.
 func (st *Store) generations() ([]uint64, error) {
-	entries, err := os.ReadDir(st.dir)
+	return scanGenerations(st.dir)
+}
+
+// scanGenerations lists a directory's generation numbers in ascending order.
+// It is shared by the writing Store and the read-only Watcher.
+func scanGenerations(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -190,6 +209,11 @@ func (st *Store) saveFramed(buf []byte) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 
+	if st.fence != nil {
+		if err := st.fence(); err != nil {
+			return fmt.Errorf("checkpoint: save fenced off: %w", err)
+		}
+	}
 	gen := st.gen + 1
 	final := filepath.Join(st.dir, genName(gen))
 	tmp := final + ".tmp"

@@ -1,0 +1,83 @@
+// Frame streaming: the read-only side of the journal that standby replicas
+// tail. A Watcher observes a checkpoint directory that some other process
+// (the leader) writes with SaveRaw, and surfaces each new verified
+// generation's payload — CRC-checked, torn-frame tolerant — without ever
+// participating in the write path. Replication in the allocation service is
+// exactly this: followers tail the leader's state journal and keep a warm
+// incumbent, so a failover serves the journaled state the moment the lease
+// is won (DESIGN.md §3.13).
+package checkpoint
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Watcher tails a checkpoint directory for new generations. It is strictly
+// read-only — it never creates the directory, writes a file, or prunes —
+// and tolerates every in-progress-write artifact a live journal exhibits:
+// a missing directory (the writer has not started), dangling .tmp files,
+// and a newest generation that is torn, truncated, or bit-flipped (the
+// frame fails CRC and the watcher falls back to the previous generation,
+// exactly like the loaders). A Watcher is not safe for concurrent use;
+// give each tailing goroutine its own.
+type Watcher struct {
+	dir  string
+	last uint64 // newest generation already surfaced
+}
+
+// NewWatcher tails dir from the beginning: the first successful Poll
+// returns the newest verified generation currently on disk.
+func NewWatcher(dir string) *Watcher {
+	return &Watcher{dir: dir}
+}
+
+// Poll returns the newest generation that verifies and is newer than
+// anything Poll has returned before. ok is false when there is nothing
+// new — including when the directory does not exist yet, holds no
+// generations, or when every generation newer than the last surfaced one is
+// corrupt (a torn tail frame mid-write is expected, not an error; the next
+// Poll sees the completed write). err is reserved for real I/O failures
+// reading the directory or a generation file.
+func (w *Watcher) Poll() (gen uint64, payload []byte, ok bool, err error) {
+	gens, err := scanGenerations(w.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	// Newest-first: the newest verified generation wins; generations the
+	// watcher already surfaced bound the fallback (an older-than-last
+	// generation is "nothing new", never a regression).
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		if g <= w.last {
+			return 0, nil, false, nil
+		}
+		data, rerr := os.ReadFile(filepath.Join(w.dir, genName(g)))
+		if rerr != nil {
+			// The writer prunes old generations concurrently; a file that
+			// vanished between the scan and the read is stale, not broken.
+			if errors.Is(rerr, fs.ErrNotExist) {
+				continue
+			}
+			return 0, nil, false, rerr
+		}
+		p, uerr := unframe(data)
+		if uerr != nil {
+			// Torn or truncated frame — mid-write or crashed writer. Fall
+			// back toward older generations.
+			continue
+		}
+		w.last = g
+		return g, append([]byte(nil), p...), true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// Last reports the newest generation the watcher has surfaced (0 before the
+// first successful Poll).
+func (w *Watcher) Last() uint64 { return w.last }

@@ -18,8 +18,11 @@ package faultinject
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -65,11 +68,37 @@ type Plan struct {
 	TornWriteAtCheckpoint int
 	// KillAt maps a named kill point to the 1-based hit count at which the
 	// process dies (panic(ErrKilled), or os.Exit(137) with KillExit). The
-	// allocation service plants At calls on its loop — after an ingested
-	// update is journaled, and between an adoption's journal save and its
-	// in-memory publish — so crash-restart tests can kill the daemon at
-	// every structural point of the control loop, not just inside saves.
+	// allocation service plants At calls on its control loop (ingest,
+	// publish) and on its high-availability machinery — lease acquisition,
+	// lease renewal, the graceful lease handover, and the follower's journal
+	// tail — so crash-restart and failover tests can kill a replica at every
+	// structural point of the protocol, not just inside saves.
 	KillAt map[string]int
+}
+
+// ParseKillSpec parses a "point:N" kill spec (N is the 1-based hit count)
+// into a Plan. Two point names are reserved for the checkpoint write path —
+// "ckpt" maps to KillAtCheckpoint and "torn" to TornWriteAtCheckpoint; any
+// other name is a named kill point routed through KillAt. Subprocess crash
+// helpers across the repo share this syntax (e.g. "service.publish:2",
+// "lease.renew:1", "ckpt:3"), so sweep drivers can enumerate kill points as
+// plain strings.
+func ParseKillSpec(spec string) (Plan, error) {
+	point, nstr, ok := strings.Cut(spec, ":")
+	if !ok || point == "" {
+		return Plan{}, fmt.Errorf("faultinject: kill spec %q is not point:N", spec)
+	}
+	n, err := strconv.Atoi(nstr)
+	if err != nil || n < 1 {
+		return Plan{}, fmt.Errorf("faultinject: kill spec %q needs a positive hit count", spec)
+	}
+	switch point {
+	case "ckpt":
+		return Plan{KillAtCheckpoint: n}, nil
+	case "torn":
+		return Plan{TornWriteAtCheckpoint: n}, nil
+	}
+	return Plan{KillAt: map[string]int{point: n}}, nil
 }
 
 // Injector implements simplex.FaultInjector plus a Canceled hook. Safe for

@@ -1,0 +1,135 @@
+// Admission control: under an update burst the daemon stays responsive by
+// refusing early and cheaply instead of queueing without bound. Two gates
+// run at ingest, before any validation work: the pending-queue bound (epoch
+// minus incumbent epoch — updates accepted but not yet reflected by a solve)
+// and a token bucket on the ingest rate. Both reject with an
+// OverloadedError carrying a Retry-After hint, which the HTTP layer maps to
+// 429. Single-flight coalescing (service.go) is what keeps the bound
+// meaningful: N pending updates still cost at most one solve.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig bounds update ingest. The zero value of each field
+// disables that gate.
+type AdmissionConfig struct {
+	// Rate is the sustained updates-per-second the daemon admits; Burst is
+	// the bucket depth (how many updates may arrive back-to-back before the
+	// rate applies). Burst defaults to max(1, ceil(Rate)) when Rate > 0.
+	Rate  float64
+	Burst int
+	// MaxPending bounds the pending-update queue: once the desired epoch is
+	// this many updates ahead of the incumbent, further updates are refused
+	// until a solve catches up.
+	MaxPending int
+}
+
+func (a AdmissionConfig) withDefaults() (AdmissionConfig, error) {
+	if a.Rate < 0 {
+		return a, fmt.Errorf("service: Admission.Rate %v must be >= 0", a.Rate)
+	}
+	if a.MaxPending < 0 {
+		return a, fmt.Errorf("service: Admission.MaxPending %d must be >= 0", a.MaxPending)
+	}
+	if a.Rate > 0 && a.Burst < 1 {
+		a.Burst = int(a.Rate)
+		if float64(a.Burst) < a.Rate {
+			a.Burst++
+		}
+		if a.Burst < 1 {
+			a.Burst = 1
+		}
+	}
+	return a, nil
+}
+
+// OverloadedError rejects an update the admission gates refused. RetryAfter
+// is the earliest instant a retry could be admitted (rate gate) or a
+// heuristic solve-catch-up estimate (queue gate); the HTTP layer rounds it
+// up into a Retry-After header on the 429.
+type OverloadedError struct {
+	Reason     string // "rate" or "queue"
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: update refused (%s limit); retry in %v", e.Reason, e.RetryAfter)
+}
+
+// tokenBucket is a standard leaky token bucket with an injectable clock so
+// admission tests are deterministic. Safe for concurrent use.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	b.tokens = b.burst // start full: the first burst is always admitted
+	b.last = now()
+	return b
+}
+
+// take admits one update if a token is available; otherwise it reports how
+// long until the next token accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// admit runs the ingest gates in rejection-cost order: role (a follower
+// redirects), queue bound, then the rate bucket — so a rejected update never
+// consumes a token it did not use.
+func (s *Service) admit() error {
+	s.mu.Lock()
+	role := s.role
+	leader := s.leaderAddr
+	pending := s.epoch
+	if s.inc != nil {
+		pending = s.epoch - s.inc.Epoch
+	}
+	s.mu.Unlock()
+
+	if role == RoleFollower || role == RoleCandidate {
+		return &NotLeaderError{Leader: leader}
+	}
+	if s.maxPending > 0 && pending >= uint64(s.maxPending) {
+		// The queue drains one solve at a time; the backoff base is the
+		// closest cheap estimate of when a slot frees up.
+		ra := s.cfg.BackoffBase
+		if ra < time.Second {
+			ra = time.Second
+		}
+		return &OverloadedError{Reason: "queue", RetryAfter: ra}
+	}
+	if s.bucket != nil {
+		if ok, ra := s.bucket.take(); !ok {
+			return &OverloadedError{Reason: "rate", RetryAfter: ra}
+		}
+	}
+	return nil
+}

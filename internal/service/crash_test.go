@@ -6,8 +6,6 @@ import (
 	"os"
 	"os/exec"
 	"reflect"
-	"strconv"
-	"strings"
 	"testing"
 	"time"
 
@@ -71,34 +69,21 @@ func runServiceFlow(t testing.TB, cfg Config) (boot, final *Incumbent) {
 }
 
 // TestServiceCrashHelperProcess is the subprocess body the crash suite
-// kills: the canonical flow with a kill plan from the environment —
-// "ingest:N" / "publish:N" for the service-loop kill points, "ckpt:N" for
-// the Nth solve-journal save. Every kill is os.Exit(137), SIGKILL-style.
+// kills: the canonical flow with a faultinject.ParseKillSpec kill plan from
+// the environment — "service.ingest:N" / "service.publish:N" for the
+// service-loop kill points, "ckpt:N" for the Nth solve-journal save. Every
+// kill is os.Exit(137), SIGKILL-style.
 func TestServiceCrashHelperProcess(t *testing.T) {
 	dir := os.Getenv("SERVICE_CRASH_DIR")
 	if dir == "" {
 		t.Skip("subprocess helper; driven by TestServiceCrashRestart")
 	}
 	spec := os.Getenv("SERVICE_CRASH_KILL")
-	point, nstr, ok := strings.Cut(spec, ":")
-	if !ok {
-		t.Fatalf("bad kill spec %q", spec)
-	}
-	n, err := strconv.Atoi(nstr)
+	plan, err := faultinject.ParseKillSpec(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := faultinject.Plan{KillExit: true}
-	switch point {
-	case "ckpt":
-		plan.KillAtCheckpoint = n
-	case "ingest":
-		plan.KillAt = map[string]int{KillPointIngest: n}
-	case "publish":
-		plan.KillAt = map[string]int{KillPointPublish: n}
-	default:
-		t.Fatalf("unknown kill point %q", point)
-	}
+	plan.KillExit = true
 	runServiceFlow(t, crashConfig(t, dir, faultinject.New(plan)))
 	t.Fatalf("kill point %s never fired", spec)
 }
@@ -131,7 +116,7 @@ func TestServiceCrashRestart(t *testing.T) {
 		t.Fatalf("baseline hit the ingest kill point %d times, want 1", hits)
 	}
 
-	specs := []string{"ingest:1", "publish:1", "publish:2"}
+	specs := []string{"service.ingest:1", "service.publish:1", "service.publish:2"}
 	for n := 1; n <= saves; n++ {
 		specs = append(specs, fmt.Sprintf("ckpt:%d", n))
 	}
@@ -182,17 +167,17 @@ func TestServiceCrashRestart(t *testing.T) {
 			}
 			// Named kill points pin exactly which state must have survived.
 			switch spec {
-			case "ingest:1":
+			case "service.ingest:1":
 				// The update was journaled before the kill: the restart
 				// must see epoch 1 with the boot incumbent still serving.
 				if restored == nil || restored.Epoch != 0 || epoch != 1 {
 					t.Fatalf("after %s: incumbent %+v at epoch %d, want the boot incumbent at desired epoch 1", spec, restored, epoch)
 				}
-			case "publish:1":
+			case "service.publish:1":
 				if restored == nil || restored.Epoch != 0 {
 					t.Fatalf("after %s: incumbent %+v, want the journaled boot adoption", spec, restored)
 				}
-			case "publish:2":
+			case "service.publish:2":
 				if restored == nil || restored.Epoch != 1 || epoch != 1 {
 					t.Fatalf("after %s: incumbent %+v at epoch %d, want the journaled drift adoption", spec, restored, epoch)
 				}

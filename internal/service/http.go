@@ -2,7 +2,11 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"fragalloc/internal/model"
@@ -10,17 +14,21 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET  /v1/allocation    the served incumbent, tagged with staleness
+//	GET  /v1/allocation    the served incumbent, tagged with role + staleness
 //	POST /v1/update        ingest a drift update; ?wait=1 blocks for the
-//	                       re-optimization attempt and returns the diff
+//	                       re-optimization attempt and returns the diff.
+//	                       Followers redirect to the leader (307); admission
+//	                       refusals are 429 with Retry-After.
 //	GET  /v1/diff          migration plan of the latest adoption
 //	GET  /v1/status        full self-description
-//	GET  /healthz          liveness (200 once an incumbent is served)
+//	GET  /healthz          liveness (200 while the process runs)
+//	GET  /readyz           readiness (200 once this replica can serve reads)
 //
 // The allocation endpoint never fails once an incumbent exists: when
 // re-optimization is failing, it keeps serving the last good incumbent with
 // stale_updates > 0 and the rejection reason — graceful degradation as an
-// API contract.
+// API contract. Followers serve it too, tagged role:follower with tail
+// staleness, so reads survive a leader outage.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
@@ -28,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -45,6 +54,12 @@ type allocationResponse struct {
 	V                 float64 `json:"v"`
 	ReplicationFactor float64 `json:"replication_factor"`
 	Exact             bool    `json:"exact"`
+
+	// Role tags which replica answered; followers add the leader they would
+	// redirect writes to and how stale their journal tail is.
+	Role       Role          `json:"role"`
+	LeaderAddr string        `json:"leader_addr,omitempty"`
+	TailAge    time.Duration `json:"tail_age_ns,omitempty"`
 
 	LastError  string            `json:"last_error,omitempty"`
 	Allocation *model.Allocation `json:"allocation"`
@@ -65,6 +80,9 @@ func (s *Service) handleAllocation(w http.ResponseWriter, r *http.Request) {
 		W:              inc.W,
 		V:              inc.V,
 		Exact:          inc.Exact,
+		Role:           st.Role,
+		LeaderAddr:     st.LeaderAddr,
+		TailAge:        st.TailAge,
 		LastError:      st.LastError,
 		Allocation:     inc.Allocation,
 	}
@@ -97,6 +115,27 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, err := s.Apply(u)
 	if err != nil {
+		var notLeader *NotLeaderError
+		var overloaded *OverloadedError
+		switch {
+		case errors.As(err, &notLeader):
+			if notLeader.Leader == "" {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			// 307 keeps the method and body, so a client that follows the
+			// redirect re-POSTs the same update at the leader.
+			http.Redirect(w, r, strings.TrimSuffix(notLeader.Leader, "/")+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+			return
+		case errors.As(err, &overloaded):
+			secs := int(math.Ceil(overloaded.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -134,13 +173,53 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Status())
 }
 
+// handleHealthz is pure liveness: 200 whenever the process is up, even
+// mid-bootstrap or as a candidate between reigns. Orchestrators restart on
+// healthz failure; restarting a replica because it is still electing or
+// tailing would be self-inflicted crash-looping — readiness is /readyz.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	inc, _ := s.Incumbent()
-	if inc == nil {
-		http.Error(w, "bootstrapping", http.StatusServiceUnavailable)
-		return
-	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyResponse is the GET /readyz body.
+type readyResponse struct {
+	Ready bool `json:"ready"`
+	Role  Role `json:"role"`
+	// Reason says why the replica is not ready ("" when it is).
+	Reason     string `json:"reason,omitempty"`
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	// Followers report their replication staleness: the journal generation
+	// last tailed and how long ago.
+	TailGeneration uint64        `json:"tail_generation,omitempty"`
+	TailAge        time.Duration `json:"tail_age_ns,omitempty"`
+}
+
+// handleReadyz is role-aware readiness: a single-node daemon or leader is
+// ready once it serves an incumbent; a follower once its tailed (or
+// restored) warm incumbent can answer reads; a candidate — a replica between
+// reigns — is never ready.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	inc, _ := s.Incumbent()
+	st := s.Status()
+	resp := readyResponse{
+		Role:           st.Role,
+		LeaderAddr:     st.LeaderAddr,
+		TailGeneration: st.TailGeneration,
+		TailAge:        st.TailAge,
+	}
+	switch {
+	case st.Role == RoleCandidate:
+		resp.Reason = "between reigns: electing or awaiting a leader"
+	case inc == nil:
+		resp.Reason = "no incumbent allocation yet"
+	default:
+		resp.Ready = true
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
 }
 
 func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {

@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -102,6 +104,20 @@ type Config struct {
 	// (0 = the checkpoint package's default).
 	CheckpointEvery time.Duration
 
+	// HA, when set, runs this daemon as one replica of a highly available
+	// group sharing StateDir: lease-based leader election with fencing
+	// epochs, follower journal tailing, and write redirection (DESIGN.md
+	// §3.13). Requires StateDir. Use RunHA instead of Bootstrap+Run.
+	HA *HAConfig
+	// Admission, when set, bounds update ingest: a token bucket on the rate
+	// and a cap on the pending-update queue, both rejecting with a 429-able
+	// OverloadedError instead of queueing without bound.
+	Admission *AdmissionConfig
+	// JitterSeed seeds the deterministic ±25% jitter on the solve-retry
+	// backoff. 0 derives a per-node seed from HA.NodeID (so replicas
+	// de-synchronize their retry storms) or falls back to 1.
+	JitterSeed int64
+
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 	// Fault, when set, is installed on the per-epoch solve journals and
@@ -158,6 +174,20 @@ type Service struct {
 	fails        int                 // consecutive failed attempts
 	attempts     int                 // total attempts
 	adoptions    int                 // total adoptions
+	rng          *rand.Rand          // seeded backoff jitter (guarded by mu)
+
+	// High-availability state (DESIGN.md §3.13); role is RoleSingle and the
+	// rest zero unless Config.HA is set.
+	role       Role
+	leaderAddr string       // known leader's advertised address
+	leaseEpoch uint64       // fencing epoch while leading
+	leaseCheck func() error // lease fence while leading; also on the store
+	tailGen    uint64       // follower: newest journal generation adopted
+	tailedAt   time.Time    // follower: when tailGen was adopted
+
+	// Admission gates (nil/0 = unbounded).
+	bucket     *tokenBucket
+	maxPending int
 }
 
 // persistedState is the state journal's payload: everything the daemon needs
@@ -205,6 +235,29 @@ func New(cfg Config) (*Service, error) {
 	if cfg.ReduceSeed == 0 {
 		cfg.ReduceSeed = 1
 	}
+	if cfg.HA != nil {
+		ha, err := cfg.HA.withDefaults(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.HA = &ha
+	}
+	if cfg.Admission != nil {
+		adm, err := cfg.Admission.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Admission = &adm
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 1
+		if cfg.HA != nil {
+			h := fnv.New64a()
+			h.Write([]byte(cfg.HA.NodeID))
+			seed = int64(h.Sum64())
+		}
+	}
 	scen := cfg.Scenarios
 	if scen == nil {
 		scen = model.DefaultScenario(cfg.Workload)
@@ -217,8 +270,19 @@ func New(cfg Config) (*Service, error) {
 		wake: make(chan struct{}, 1),
 		scen: scen.Clone(),
 		k:    cfg.K,
+		rng:  rand.New(rand.NewSource(seed)),
+		role: RoleSingle,
 	}
 	s.attemptDone = make(chan struct{})
+	if cfg.HA != nil {
+		s.role = RoleCandidate
+	}
+	if cfg.Admission != nil {
+		s.maxPending = cfg.Admission.MaxPending
+		if cfg.Admission.Rate > 0 {
+			s.bucket = newTokenBucket(cfg.Admission.Rate, cfg.Admission.Burst, nil)
+		}
+	}
 	if cfg.StateDir != "" {
 		st, err := checkpoint.Open(filepath.Join(cfg.StateDir, "state"))
 		if err != nil {
@@ -259,24 +323,12 @@ func (s *Service) restore() error {
 	if payload == nil {
 		return nil
 	}
-	var ps persistedState
-	if err := json.Unmarshal(payload, &ps); err != nil {
-		return fmt.Errorf("service: state journal: %w", err)
-	}
-	if got, want := ps.WorkloadDigest, s.cfg.Workload.Digest(); got != want {
-		return fmt.Errorf("service: state journal was written for workload digest %016x, this daemon runs %016x", got, want)
-	}
-	if ps.K < 1 || ps.Scenarios == nil {
-		return fmt.Errorf("service: state journal is incomplete (k=%d)", ps.K)
-	}
-	if err := ps.Scenarios.Validate(s.cfg.Workload); err != nil {
-		return fmt.Errorf("service: state journal scenarios: %w", err)
+	ps, err := s.decodePersisted(payload)
+	if err != nil {
+		return err
 	}
 	s.scen, s.k, s.epoch = ps.Scenarios, ps.K, ps.Epoch
 	if ps.Incumbent != nil {
-		if err := ps.Incumbent.Validate(s.cfg.Workload); err != nil {
-			return fmt.Errorf("service: state journal incumbent: %w", err)
-		}
 		s.inc = &Incumbent{
 			Allocation: ps.Incumbent,
 			Epoch:      ps.IncumbentEpoch,
@@ -289,6 +341,32 @@ func (s *Service) restore() error {
 			ps.IncumbentEpoch, ps.Epoch, s.cfg.StateDir)
 	}
 	return nil
+}
+
+// decodePersisted decodes and fully validates one state-journal payload
+// against this daemon's workload. It is the shared trust boundary for every
+// journal consumer — boot restore, follower tailing, and promotion reload —
+// so a corrupt or foreign generation is rejected identically everywhere.
+func (s *Service) decodePersisted(payload []byte) (*persistedState, error) {
+	var ps persistedState
+	if err := json.Unmarshal(payload, &ps); err != nil {
+		return nil, fmt.Errorf("service: state journal: %w", err)
+	}
+	if got, want := ps.WorkloadDigest, s.cfg.Workload.Digest(); got != want {
+		return nil, fmt.Errorf("service: state journal was written for workload digest %016x, this daemon runs %016x", got, want)
+	}
+	if ps.K < 1 || ps.Scenarios == nil {
+		return nil, fmt.Errorf("service: state journal is incomplete (k=%d)", ps.K)
+	}
+	if err := ps.Scenarios.Validate(s.cfg.Workload); err != nil {
+		return nil, fmt.Errorf("service: state journal scenarios: %w", err)
+	}
+	if ps.Incumbent != nil {
+		if err := ps.Incumbent.Validate(s.cfg.Workload); err != nil {
+			return nil, fmt.Errorf("service: state journal incumbent: %w", err)
+		}
+	}
+	return &ps, nil
 }
 
 // persist journals the daemon's current desired state and incumbent. It
@@ -372,6 +450,7 @@ func (s *Service) Run(ctx context.Context) {
 			if d > s.cfg.BackoffMax || d <= 0 {
 				d = s.cfg.BackoffMax
 			}
+			d = s.jitter(d)
 			s.logf("service: re-optimization failed (%v); retrying in %v", err, d)
 			t := time.NewTimer(d)
 			select {
@@ -385,6 +464,23 @@ func (s *Service) Run(ctx context.Context) {
 			return
 		}
 	}
+}
+
+// jitter scales a backoff delay by a seeded ±25% factor, keeping the clamp:
+// replicas retrying the same failure de-synchronize (each node derives its
+// own seed from its ID) while any single node's delays stay reproducible.
+func (s *Service) jitter(d time.Duration) time.Duration {
+	s.mu.Lock()
+	f := 0.75 + 0.5*s.rng.Float64()
+	s.mu.Unlock()
+	j := time.Duration(float64(d) * f)
+	if j > s.cfg.BackoffMax {
+		j = s.cfg.BackoffMax
+	}
+	if j <= 0 {
+		j = d
+	}
+	return j
 }
 
 // reoptimize runs one solve attempt against the latest desired state and
@@ -508,6 +604,14 @@ func (s *Service) reoptimize(ctx context.Context, boot bool) error {
 		AdoptedAt:  time.Now(),
 	}
 
+	// A replica may only publish while it is the write authority: the
+	// leader re-verifies its lease here, so a deposition mid-solve rejects
+	// the result instead of forking the group's served history.
+	if err := s.publishGate(); err != nil {
+		s.finishAttempt(epoch, false, nil, err)
+		return err
+	}
+
 	// Adoption order is the crash contract: (1) publish the incumbent in
 	// memory, (2) journal it, (3) hit the publish kill point, (4) publish
 	// the diff and release waiters. A crash between (2) and (4) restarts
@@ -568,6 +672,15 @@ func (s *Service) solveRecorder(epoch uint64) (*checkpoint.Recorder, func(), err
 	if s.cfg.Fault != nil {
 		st.SetFault(s.cfg.Fault)
 	}
+	// The solve journal is fenced like the state journal: a deposed
+	// leader's in-flight solve must not keep writing under a directory the
+	// successor now owns.
+	s.mu.Lock()
+	check := s.leaseCheck
+	s.mu.Unlock()
+	if check != nil {
+		st.SetFence(check)
+	}
 	prev, err := st.Load()
 	if err != nil {
 		// A corrupt solve journal costs a fresh solve, never the daemon.
@@ -589,8 +702,13 @@ func (s *Service) solveRecorder(epoch uint64) (*checkpoint.Recorder, func(), err
 // Apply ingests one drift update: validate against the current desired
 // state, bump the epoch, journal, and wake the re-optimization loop. It
 // returns the new epoch (pass it to WaitEpoch to await adoption). An invalid
-// update is rejected whole with no state change.
+// update is rejected whole with no state change; a non-leader replica
+// rejects with NotLeaderError, and the admission gates reject with
+// OverloadedError before any validation work.
 func (s *Service) Apply(u Update) (uint64, error) {
+	if err := s.admit(); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	scen, k, err := applyUpdate(s.cfg.Workload, s.scen, s.k, u)
 	if err != nil {
@@ -746,6 +864,17 @@ type Status struct {
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	Attempts            int    `json:"attempts"`
 	Adoptions           int    `json:"adoptions"`
+
+	// High availability (DESIGN.md §3.13). Role is "single" outside HA;
+	// LeaseEpoch is the fencing epoch while leading. Followers report the
+	// journal generation they last tailed and how long ago, plus the leader
+	// they redirect writes to.
+	Role           Role          `json:"role"`
+	LeaderAddr     string        `json:"leader_addr,omitempty"`
+	LeaseEpoch     uint64        `json:"lease_epoch,omitempty"`
+	Peers          []string      `json:"peers,omitempty"`
+	TailGeneration uint64        `json:"tail_generation,omitempty"`
+	TailAge        time.Duration `json:"tail_age_ns,omitempty"`
 }
 
 // Status snapshots the daemon's state.
@@ -760,6 +889,18 @@ func (s *Service) Status() Status {
 		ConsecutiveFailures: s.fails,
 		Attempts:            s.attempts,
 		Adoptions:           s.adoptions,
+		Role:                s.role,
+		LeaseEpoch:          s.leaseEpoch,
+		TailGeneration:      s.tailGen,
+	}
+	if s.role != RoleLeader {
+		st.LeaderAddr = s.leaderAddr
+	}
+	if s.cfg.HA != nil {
+		st.Peers = s.cfg.HA.Peers
+	}
+	if !s.tailedAt.IsZero() {
+		st.TailAge = time.Since(s.tailedAt)
 	}
 	if s.red != nil {
 		st.ReducedScenarios = s.red.R()

@@ -291,8 +291,9 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	// Before bootstrap: allocation and healthz are 503, status still works.
-	for _, path := range []string{"/v1/allocation", "/healthz"} {
+	// Before bootstrap: allocation and readiness are 503, but liveness is
+	// already 200 — the process is up, just not serving yet.
+	for _, path := range []string{"/v1/allocation", "/readyz"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -303,6 +304,16 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Errorf("GET %s pre-bootstrap = %d, want 503", path, resp.StatusCode)
 		}
+	}
+	resp0, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp0.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp0.StatusCode != http.StatusOK {
+		t.Errorf("GET /healthz pre-bootstrap = %d, want 200 (liveness, not readiness)", resp0.StatusCode)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
@@ -336,7 +347,15 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 	if ar.Allocation == nil || ar.Outcome == "" {
 		t.Fatalf("allocation response = %+v, want an allocation with outcome", ar)
 	}
+	if ar.Role != RoleSingle {
+		t.Errorf("allocation response role = %q, want %q", ar.Role, RoleSingle)
+	}
 	get("/healthz", http.StatusOK, nil)
+	var rr readyResponse
+	get("/readyz", http.StatusOK, &rr)
+	if !rr.Ready || rr.Role != RoleSingle {
+		t.Errorf("readyz post-bootstrap = %+v, want ready in role single", rr)
+	}
 	get("/v1/diff", http.StatusNotFound, nil) // no re-optimization yet
 
 	// Malformed and invalid updates are 400.
